@@ -1,0 +1,46 @@
+"""Figure 7 — MaxSwapLen sweep.
+
+Benchmarks one full compile+simulate per MaxSwapLen value for each routing
+workload, and checks the paper's qualitative finding that the best setting
+is at (or below) the maximum executable span — i.e. restricting the swap
+length never has to be worse than the unrestricted router.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.report import figure7_report
+from repro.compiler.pipeline import LinQCompiler
+from repro.workloads.suite import build_workload, routing_suite
+
+ROUTING_WORKLOADS = [spec.name for spec in routing_suite()]
+
+
+@pytest.mark.parametrize("name", ROUTING_WORKLOADS)
+def test_max_swap_len_sweep(benchmark, name, scale):
+    """Time the compile at the most restricted MaxSwapLen of the sweep."""
+    circuit = build_workload(name, scale)
+    device = experiments.device_for(scale, name)
+    restricted = device.head_size // 2
+    config = experiments.ROUTING_STUDY_CONFIG.with_overrides(
+        max_swap_len=restricted
+    )
+    compiler = LinQCompiler(device, config)
+    result = benchmark.pedantic(compiler.compile, args=(circuit,),
+                                iterations=1, rounds=1)
+    assert result.stats.max_swap_span <= restricted
+
+
+def test_figure7_sweet_spot(scale):
+    """The best MaxSwapLen is never the worst point of the sweep."""
+    rows = experiments.figure7(scale)
+    for name in ROUTING_WORKLOADS:
+        workload_rows = [row for row in rows if row.workload == name]
+        assert len(workload_rows) >= 2
+        best = experiments.best_max_swap_len(rows, name)
+        worst = min(workload_rows, key=lambda row: row.log10_success_rate)
+        assert best.log10_success_rate >= worst.log10_success_rate
+    print()
+    print(figure7_report(scale))

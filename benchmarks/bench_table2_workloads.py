@@ -1,0 +1,40 @@
+"""Table II — benchmark characteristics.
+
+Regenerates the workload suite and its two-qubit gate counts, benchmarking
+the circuit-generation + decomposition cost of each Table II application.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import table2_report
+from repro.compiler.decompose import decompose_to_cx
+from repro.workloads import suite
+
+WORKLOADS = [spec.name for spec in suite.standard_suite()]
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_workload_generation(benchmark, name, scale):
+    """Time to build one Table II workload and count its CX-level gates."""
+    width = suite.suite_qubits(name, scale)
+    spec = suite.benchmark(name)
+
+    def build_and_count() -> int:
+        return decompose_to_cx(spec.build(width)).num_two_qubit_gates()
+
+    count = benchmark(build_and_count)
+    assert count > 0
+
+
+def test_table2_rows_match_paper_shape(scale):
+    """The measured counts track Table II (exact for QFT/RCS/QAOA)."""
+    rows = {row["application"]: row for row in suite.table2_rows(scale)}
+    assert set(rows) == set(WORKLOADS)
+    if scale == "paper":
+        assert rows["QFT"]["two_qubit_gates"] == 4032
+        assert rows["RCS"]["two_qubit_gates"] == 560
+        assert rows["QAOA"]["two_qubit_gates"] == 1260
+    print()
+    print(table2_report(scale))

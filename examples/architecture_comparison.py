@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Compare TILT against QCCD and an ideal trapped-ion device (Figure 8).
+
+Runs each requested Table II workload through four machine configurations
+(TILT with 16- and 32-wide heads, a fully connected ideal device, and a
+QCCD machine) and prints the success rates plus the TILT-vs-QCCD ratios —
+the experiment behind the paper's "up to 4.35x / 1.95x on average" claim.
+
+Run with::
+
+    python examples/architecture_comparison.py [--scale small|paper] [names...]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import tilt_vs_qccd_ratios
+from repro.analysis import experiments
+from repro.analysis.tables import format_table
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("small", "paper"), default="small",
+                        help="workload widths (paper = 64/78 qubits)")
+    parser.add_argument("workloads", nargs="*",
+                        default=["ADDER", "QAOA", "RCS"],
+                        help="Table II workload names to compare")
+    args = parser.parse_args()
+
+    comparisons = experiments.figure8(args.scale,
+                                      workloads=tuple(args.workloads))
+    rows = []
+    for comparison in comparisons:
+        for architecture, result in comparison.results.items():
+            rows.append([
+                comparison.circuit_name,
+                architecture,
+                f"{result.success_rate:.3e}",
+                f"{result.log10_success_rate:.2f}",
+                result.num_moves,
+            ])
+    print(format_table(
+        ["workload", "architecture", "success", "log10(success)", "moves"],
+        rows,
+    ))
+
+    print()
+    ratios = tilt_vs_qccd_ratios(comparisons)
+    print(format_table(["workload", "TILT / QCCD success ratio"],
+                       [[k, f"{v:.2f}x"] for k, v in ratios.items()]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Tune MaxSwapLen for a routing-heavy workload (Figure 7).
+
+Restricting the span of inserted SWAPs below the laser-head width costs a
+few extra SWAPs but gives the tape-movement scheduler more freedom; this
+script sweeps the restriction for one workload, prints every point, and
+reports the sweet spot — exactly the iteration loop the paper describes in
+Section IV-C.
+
+Run with::
+
+    python examples/maxswaplen_tuning.py [--workload QFT] [--scale small|paper]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import TiltDevice
+from repro.analysis import experiments
+from repro.analysis.tables import format_table
+from repro.core.sweep import max_swap_len_sweep
+from repro.workloads.suite import build_workload
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="QFT",
+                        help="Table II workload name (BV, QFT or SQRT)")
+    parser.add_argument("--scale", choices=("small", "paper"), default="small")
+    args = parser.parse_args()
+
+    circuit = build_workload(args.workload, args.scale)
+    head_size = experiments.primary_head_size(args.scale, circuit.num_qubits)
+    device = TiltDevice(num_qubits=circuit.num_qubits, head_size=head_size)
+    print(f"{device.describe()}; workload {circuit.summary()}")
+
+    points = max_swap_len_sweep(circuit, device,
+                                base_config=experiments.ROUTING_STUDY_CONFIG)
+    print(format_table(
+        ["MaxSwapLen", "swaps", "moves", "tape travel (um)", "success rate"],
+        [[int(p.value), p.num_swaps, p.num_moves,
+          f"{p.move_distance_um:.0f}", f"{p.success_rate:.3e}"]
+         for p in points],
+    ))
+
+    best = max(points, key=lambda point: point.log10_success_rate)
+    print(f"\nsweet spot: MaxSwapLen = {int(best.value)} "
+          f"(success rate {best.success_rate:.3e})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Compile an externally supplied OpenQASM 2.0 circuit for TILT.
+
+Demonstrates the interchange path a downstream user would take: read a
+circuit from OpenQASM text (here generated on the fly, but a ``.qasm`` file
+path can be passed instead), compile it with LinQ, print the compiled
+schedule, and write the routed physical circuit back out as OpenQASM.
+
+Run with::
+
+    python examples/qasm_roundtrip.py [path/to/circuit.qasm]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro import LinQ, TiltDevice
+from repro.circuits import circuit_to_qasm, qasm_to_circuit
+from repro.workloads.qft import qft_workload
+
+DEMO_WIDTH = 20
+
+
+def load_circuit(argv: list[str]):
+    if len(argv) > 1:
+        text = pathlib.Path(argv[1]).read_text()
+        return qasm_to_circuit(text, name=pathlib.Path(argv[1]).stem)
+    # No file given: round-trip a QFT through QASM to prove the path works.
+    text = circuit_to_qasm(qft_workload(DEMO_WIDTH))
+    return qasm_to_circuit(text, name="qft_from_qasm")
+
+
+def main() -> int:
+    circuit = load_circuit(sys.argv)
+    print(f"loaded {circuit.summary()}")
+
+    device = TiltDevice(num_qubits=max(circuit.num_qubits, DEMO_WIDTH),
+                        head_size=8)
+    report = LinQ(device).run(circuit)
+    print(report.summary())
+
+    routed_qasm = circuit_to_qasm(report.compile_result.routed_circuit)
+    out_path = pathlib.Path("routed_output.qasm")
+    out_path.write_text(routed_qasm)
+    print(f"\nrouted physical circuit written to {out_path} "
+          f"({len(routed_qasm.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

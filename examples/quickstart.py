@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: compile and simulate one circuit on a TILT machine.
+
+Builds a 64-qubit Bernstein-Vazirani circuit, compiles it with the LinQ
+toolflow for a 64-ion tape with a 16-laser head, and prints the compilation
+statistics and the estimated program success rate.
+
+Run with::
+
+    python examples/quickstart.py [num_qubits] [head_size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import LinQ, TiltDevice, workloads
+
+
+def main() -> int:
+    num_qubits = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    head_size = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+
+    device = TiltDevice(num_qubits=num_qubits, head_size=head_size)
+    print(device.describe())
+
+    circuit = workloads.bv_workload(num_qubits)
+    print(f"workload: {circuit.summary()}")
+
+    toolflow = LinQ(device)
+    report = toolflow.run(circuit)
+
+    print()
+    print(report.summary())
+    print()
+    print("schedule head positions:",
+          report.compile_result.program.positions())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

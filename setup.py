@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The build configuration lives in ``setup.cfg``; this file exists so that
+``pip install -e .`` works with the legacy (non-PEP-517) code path, which is
+the only editable-install path available in fully offline environments
+without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""Reproduction of TILT (HPCA 2021): the LinQ toolflow and its substrates.
+
+The package is organised as:
+
+* :mod:`repro.circuits` — circuit IR (gates, circuits, DAG, QASM, unitaries).
+* :mod:`repro.workloads` — the Table II benchmark generators.
+* :mod:`repro.arch` — device models (TILT, Ideal TI, QCCD).
+* :mod:`repro.noise` — gate times (Eq. 3), heating and fidelity (Eq. 4).
+* :mod:`repro.compiler` — LinQ passes: decomposition, mapping, swap
+  insertion (Algorithm 1), tape scheduling (Algorithm 2), QCCD routing.
+* :mod:`repro.sim` — statevector, TILT, QCCD and Ideal-TI simulators.
+* :mod:`repro.core` — the :class:`LinQ` facade, architecture comparisons
+  and parameter sweeps.
+* :mod:`repro.analysis` — drivers that regenerate every figure and table.
+
+Quickstart::
+
+    from repro import LinQ, TiltDevice, workloads
+
+    toolflow = LinQ(TiltDevice(num_qubits=64, head_size=16))
+    report = toolflow.run(workloads.qft_workload(64))
+    print(report.summary())
+"""
+
+from repro import arch, circuits, compiler, core, noise, sim, workloads
+from repro.arch import IdealTrappedIonDevice, QccdDevice, TiltDevice
+from repro.circuits import Circuit, Gate
+from repro.compiler import (
+    CompileResult,
+    CompilerConfig,
+    LinQCompiler,
+    QccdCompiler,
+    compile_for_qccd,
+    compile_for_tilt,
+)
+from repro.core import (
+    LinQ,
+    LinQRunReport,
+    compare_architectures,
+    max_swap_len_sweep,
+    tilt_vs_qccd_ratios,
+)
+from repro.exceptions import (
+    CircuitError,
+    CompilationError,
+    DeviceError,
+    QasmError,
+    ReproError,
+    RoutingError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.noise import NoiseParameters
+from repro.sim import (
+    IdealSimulator,
+    QccdSimulator,
+    SimulationResult,
+    StatevectorSimulator,
+    TiltSimulator,
+)
+from repro.version import __version__
+
+__all__ = [
+    "Circuit",
+    "CircuitError",
+    "CompilationError",
+    "CompileResult",
+    "CompilerConfig",
+    "DeviceError",
+    "Gate",
+    "IdealSimulator",
+    "IdealTrappedIonDevice",
+    "LinQ",
+    "LinQCompiler",
+    "LinQRunReport",
+    "NoiseParameters",
+    "QasmError",
+    "QccdCompiler",
+    "QccdDevice",
+    "QccdSimulator",
+    "ReproError",
+    "RoutingError",
+    "SchedulingError",
+    "SimulationError",
+    "SimulationResult",
+    "StatevectorSimulator",
+    "TiltDevice",
+    "TiltSimulator",
+    "__version__",
+    "arch",
+    "circuits",
+    "compare_architectures",
+    "compile_for_qccd",
+    "compile_for_tilt",
+    "compiler",
+    "core",
+    "max_swap_len_sweep",
+    "noise",
+    "sim",
+    "tilt_vs_qccd_ratios",
+    "workloads",
+]

@@ -1,0 +1,54 @@
+"""Experiment drivers and reporting for every figure/table of the paper."""
+
+from repro.analysis.experiments import (
+    Figure6Row,
+    Figure7Row,
+    Table3Row,
+    ablation_lookahead,
+    ablation_mapper,
+    best_max_swap_len,
+    figure6,
+    figure7,
+    figure8,
+    head_sizes_for,
+    headline_ratios,
+    primary_head_size,
+    resolve_scale,
+    table2,
+    table3,
+)
+from repro.analysis.report import (
+    figure6_report,
+    figure7_report,
+    figure8_report,
+    full_report,
+    table2_report,
+    table3_report,
+)
+from repro.analysis.tables import format_records, format_table
+
+__all__ = [
+    "Figure6Row",
+    "Figure7Row",
+    "Table3Row",
+    "ablation_lookahead",
+    "ablation_mapper",
+    "best_max_swap_len",
+    "figure6",
+    "figure6_report",
+    "figure7",
+    "figure7_report",
+    "figure8",
+    "figure8_report",
+    "format_records",
+    "format_table",
+    "full_report",
+    "head_sizes_for",
+    "headline_ratios",
+    "primary_head_size",
+    "resolve_scale",
+    "table2",
+    "table2_report",
+    "table3",
+    "table3_report",
+]

@@ -1,0 +1,17 @@
+"""Architecture (device) specifications: TILT, Ideal TI and QCCD."""
+
+from repro.arch.device import DEFAULT_ION_SPACING_UM, DeviceSpec
+from repro.arch.ideal import IdealTrappedIonDevice
+from repro.arch.qccd import QccdDevice, qccd_like_paper
+from repro.arch.tilt import TiltDevice, tilt_16, tilt_32
+
+__all__ = [
+    "DEFAULT_ION_SPACING_UM",
+    "DeviceSpec",
+    "IdealTrappedIonDevice",
+    "QccdDevice",
+    "TiltDevice",
+    "qccd_like_paper",
+    "tilt_16",
+    "tilt_32",
+]

@@ -1,0 +1,52 @@
+"""Base device abstractions.
+
+A *device specification* describes the static hardware resources the
+compiler and simulators target: how many ions there are, which pairs of
+physical qubits can interact directly, and basic geometric constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DeviceError
+
+#: Typical inter-ion spacing in a linear Paul trap, in micrometres
+#: (Section II-B of the paper: "ions ... are spaced approximately 5 microns
+#: apart").
+DEFAULT_ION_SPACING_UM = 5.0
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Common fields shared by every architecture model.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of ions available as data qubits.
+    ion_spacing_um:
+        Physical spacing between adjacent ions in micrometres, used for
+        shuttling-distance and execution-time estimates.
+    """
+
+    num_qubits: int
+    ion_spacing_um: float = DEFAULT_ION_SPACING_UM
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise DeviceError("a device needs at least one qubit")
+        if self.ion_spacing_um <= 0:
+            raise DeviceError("ion spacing must be positive")
+
+    # Architecture models override these -----------------------------------
+    def is_executable(self, qubit_a: int, qubit_b: int) -> bool:
+        """Can a two-qubit gate on physical qubits (a, b) run without routing?"""
+        raise NotImplementedError
+
+    def validate_qubit(self, qubit: int) -> None:
+        """Raise :class:`DeviceError` if *qubit* is outside the register."""
+        if not 0 <= qubit < self.num_qubits:
+            raise DeviceError(
+                f"qubit {qubit} outside device register of size {self.num_qubits}"
+            )

@@ -1,0 +1,28 @@
+"""Ideal trapped-ion device.
+
+An "Ideal TI" device (Section VI-B of the paper) has enough individual laser
+controls for every ion: any pair of qubits can interact directly, so neither
+swap insertion nor tape movement is ever needed.  It serves as the upper
+bound the TILT compiler is compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class IdealTrappedIonDevice(DeviceSpec):
+    """Fully connected trapped-ion device (one laser pair per ion)."""
+
+    def is_executable(self, qubit_a: int, qubit_b: int) -> bool:
+        """Every pair of distinct qubits can interact directly."""
+        self.validate_qubit(qubit_a)
+        self.validate_qubit(qubit_b)
+        return qubit_a != qubit_b
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"Ideal trapped-ion device: {self.num_qubits} fully connected ions"

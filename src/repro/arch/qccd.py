@@ -1,0 +1,99 @@
+"""QCCD (Quantum Charge-Coupled Device) device specification.
+
+The comparison baseline of the paper (Section VI-B) is the QCCD simulator of
+Murali et al. [64]: several small linear traps connected in a line, with
+full qubit connectivity inside a trap and ion shuttling (swap-to-edge,
+split, per-segment shuttle, merge) between traps.
+
+This module only captures the *static* device description; the dynamic cost
+model (which primitives a cross-trap gate needs and how much heating each
+adds) lives in :mod:`repro.compiler.qccd_compiler` and
+:mod:`repro.sim.qccd_sim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.device import DeviceSpec
+from repro.exceptions import DeviceError
+
+
+@dataclass(frozen=True)
+class QccdDevice(DeviceSpec):
+    """A linear-topology QCCD machine.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total number of data ions.
+    trap_capacity:
+        Maximum number of ions a single trap can hold.  The paper's QCCD
+        configurations use 15-35 ions per trap; the default of 17 gives four
+        traps for 64 qubits with a little slack for in-flight ions.
+    num_traps:
+        Number of traps in the linear chain of traps.  By default the
+        smallest count that fits ``num_qubits`` with one spare slot per trap.
+    """
+
+    trap_capacity: int = 17
+    num_traps: int = 0  # 0 means "derive from num_qubits and capacity"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.trap_capacity < 2:
+            raise DeviceError("trap capacity must be at least 2")
+        if self.num_traps == 0:
+            # Leave one slot of slack per trap so shuttled ions always fit.
+            usable = max(1, self.trap_capacity - 1)
+            derived = -(-self.num_qubits // usable)  # ceil division
+            object.__setattr__(self, "num_traps", derived)
+        if self.num_traps * self.trap_capacity < self.num_qubits:
+            raise DeviceError(
+                f"{self.num_traps} traps of capacity {self.trap_capacity} "
+                f"cannot hold {self.num_qubits} qubits"
+            )
+
+    # ------------------------------------------------------------------
+    # Layout helpers
+    # ------------------------------------------------------------------
+    def initial_trap_of(self, qubit: int) -> int:
+        """Trap index holding *qubit* under the default round-robin-fill layout."""
+        self.validate_qubit(qubit)
+        per_trap = -(-self.num_qubits // self.num_traps)  # ceil division
+        return min(qubit // per_trap, self.num_traps - 1)
+
+    def initial_layout(self) -> list[list[int]]:
+        """Default placement: fill traps left to right with contiguous qubits."""
+        traps: list[list[int]] = [[] for _ in range(self.num_traps)]
+        for qubit in range(self.num_qubits):
+            traps[self.initial_trap_of(qubit)].append(qubit)
+        return traps
+
+    def trap_distance(self, trap_a: int, trap_b: int) -> int:
+        """Number of inter-trap segments between two traps (linear topology)."""
+        if not 0 <= trap_a < self.num_traps or not 0 <= trap_b < self.num_traps:
+            raise DeviceError("trap index out of range")
+        return abs(trap_a - trap_b)
+
+    def is_executable(self, qubit_a: int, qubit_b: int) -> bool:
+        """Executable without shuttling iff both qubits start in the same trap.
+
+        This only reflects the *initial* layout; the QCCD compiler tracks the
+        dynamic ion placement as it inserts shuttling operations.
+        """
+        self.validate_qubit(qubit_a)
+        self.validate_qubit(qubit_b)
+        return self.initial_trap_of(qubit_a) == self.initial_trap_of(qubit_b)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"QCCD device: {self.num_qubits} ions in {self.num_traps} traps "
+            f"(capacity {self.trap_capacity}, linear topology)"
+        )
+
+
+def qccd_like_paper(num_qubits: int = 64, trap_capacity: int = 17) -> QccdDevice:
+    """The QCCD configuration used for the Figure 8 comparison."""
+    return QccdDevice(num_qubits=num_qubits, trap_capacity=trap_capacity)

@@ -1,0 +1,114 @@
+"""TILT (Trapped-Ion Linear-Tape) device specification.
+
+The device is a single linear chain of ``num_qubits`` ions.  A fixed laser
+"head" of ``head_size`` control beams defines the execution zone; the whole
+chain shuttles so that different windows of ions sit under the head
+(Figure 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.device import DEFAULT_ION_SPACING_UM, DeviceSpec
+from repro.exceptions import DeviceError
+
+
+@dataclass(frozen=True)
+class TiltDevice(DeviceSpec):
+    """A linear-tape trapped-ion device.
+
+    Parameters
+    ----------
+    num_qubits:
+        Length of the ion chain (the "tape").
+    head_size:
+        Number of ions simultaneously covered by the laser head (the
+        execution zone).  The paper evaluates 16 and 32; commodity AOMs
+        limit this to 32.
+    ion_spacing_um:
+        Inter-ion spacing used for shuttling-distance estimates.
+    """
+
+    head_size: int = 16
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.head_size < 2:
+            raise DeviceError("the laser head must cover at least 2 ions")
+        if self.head_size > self.num_qubits:
+            raise DeviceError(
+                f"head size {self.head_size} exceeds chain length "
+                f"{self.num_qubits}"
+            )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def max_gate_span(self) -> int:
+        """Largest physical distance a two-qubit gate may span (head_size - 1)."""
+        return self.head_size - 1
+
+    @property
+    def num_head_positions(self) -> int:
+        """Number of distinct head positions along the tape."""
+        return self.num_qubits - self.head_size + 1
+
+    def head_positions(self) -> range:
+        """Valid head positions (leftmost ion index under the head)."""
+        return range(self.num_head_positions)
+
+    def window(self, position: int) -> range:
+        """The ion indices covered by the head at *position*."""
+        if position not in self.head_positions():
+            raise DeviceError(
+                f"head position {position} outside valid range "
+                f"[0, {self.num_head_positions - 1}]"
+            )
+        return range(position, position + self.head_size)
+
+    def is_executable(self, qubit_a: int, qubit_b: int) -> bool:
+        """A 2q gate is executable iff both ions fit under one head window."""
+        self.validate_qubit(qubit_a)
+        self.validate_qubit(qubit_b)
+        return abs(qubit_a - qubit_b) <= self.max_gate_span
+
+    def gate_in_window(self, qubits: tuple[int, ...], position: int) -> bool:
+        """True if every qubit of a gate lies under the head at *position*."""
+        window = self.window(position)
+        return all(q in window for q in qubits)
+
+    def positions_covering(self, qubits: tuple[int, ...]) -> range:
+        """All head positions whose window covers every qubit in *qubits*.
+
+        Returns an empty range when the qubits cannot be covered by a single
+        window (i.e. the gate is not executable).
+        """
+        lo, hi = min(qubits), max(qubits)
+        if hi - lo > self.max_gate_span:
+            return range(0)
+        first = max(0, hi - self.head_size + 1)
+        last = min(self.num_head_positions - 1, lo)
+        return range(first, last + 1)
+
+    def move_distance_um(self, from_position: int, to_position: int) -> float:
+        """Physical tape travel (micrometres) between two head positions."""
+        return abs(to_position - from_position) * self.ion_spacing_um
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"TILT device: {self.num_qubits}-ion tape, head size "
+            f"{self.head_size}, {self.num_head_positions} head positions"
+        )
+
+
+def tilt_16(num_qubits: int = 64) -> TiltDevice:
+    """The paper's primary configuration: head of 16 lasers."""
+    return TiltDevice(num_qubits=num_qubits, head_size=16)
+
+
+def tilt_32(num_qubits: int = 64) -> TiltDevice:
+    """The paper's larger configuration: head of 32 lasers."""
+    return TiltDevice(num_qubits=num_qubits, head_size=32)

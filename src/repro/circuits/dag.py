@@ -1,0 +1,214 @@
+"""Dependency analysis for circuits.
+
+Two views are provided:
+
+* :class:`CircuitDAG` — a static directed acyclic graph of gate dependencies
+  (an edge runs from a gate to the next gate touching the same qubit).  Used
+  for layering, depth-distance queries and general inspection.
+* :class:`FrontierTracker` — an incremental "ready set" over the same
+  dependency structure.  The tape-movement scheduler repeatedly asks "which
+  gates could run now?", marks some of them complete and continues; the
+  tracker supports that access pattern in O(1) amortised per gate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+import networkx as nx
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import Gate
+from repro.exceptions import CircuitError
+
+
+def _dependency_edges(gates: Sequence[Gate]) -> Iterator[tuple[int, int]]:
+    """Yield (earlier, later) index pairs for gates sharing a qubit."""
+    last_on_qubit: dict[int, int] = {}
+    for idx, gate in enumerate(gates):
+        for qubit in gate.qubits:
+            previous = last_on_qubit.get(qubit)
+            if previous is not None:
+                yield previous, idx
+            last_on_qubit[qubit] = idx
+
+
+class CircuitDAG:
+    """Static gate-dependency DAG of a circuit."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self._circuit = circuit
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(range(len(circuit)))
+        self._graph.add_edges_from(_dependency_edges(circuit.gates))
+
+    @property
+    def circuit(self) -> Circuit:
+        """The circuit this DAG was built from."""
+        return self._circuit
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying networkx graph (node = gate index)."""
+        return self._graph
+
+    def gate(self, index: int) -> Gate:
+        """Return the gate at *index*."""
+        return self._circuit[index]
+
+    def predecessors(self, index: int) -> list[int]:
+        """Indices of gates that must run before gate *index*."""
+        return sorted(self._graph.predecessors(index))
+
+    def successors(self, index: int) -> list[int]:
+        """Indices of gates that depend directly on gate *index*."""
+        return sorted(self._graph.successors(index))
+
+    def front_layer(self) -> list[int]:
+        """Indices of gates with no unexecuted predecessor (program start)."""
+        return sorted(n for n in self._graph.nodes if self._graph.in_degree(n) == 0)
+
+    def topological_order(self) -> list[int]:
+        """A topological ordering of gate indices (stable: program order)."""
+        return list(nx.lexicographical_topological_sort(self._graph))
+
+    def layers(self) -> list[list[int]]:
+        """Partition gate indices into ASAP layers."""
+        level: dict[int, int] = {}
+        for node in self.topological_order():
+            preds = list(self._graph.predecessors(node))
+            level[node] = 1 + max((level[p] for p in preds), default=-1)
+        num_layers = 1 + max(level.values(), default=-1)
+        result: list[list[int]] = [[] for _ in range(num_layers)]
+        for node, lvl in level.items():
+            result[lvl].append(node)
+        return [sorted(layer) for layer in result]
+
+    def depth_index(self) -> dict[int, int]:
+        """Map each gate index to its ASAP layer number."""
+        depth: dict[int, int] = {}
+        for lvl, layer in enumerate(self.layers()):
+            for node in layer:
+                depth[node] = lvl
+        return depth
+
+
+class FrontierTracker:
+    """Incremental ready-set over a circuit's dependency structure.
+
+    The tracker is cheap to copy (:meth:`clone`), which the scheduler uses to
+    trial-run "what could execute at head position p" without committing.
+    """
+
+    def __init__(self, circuit: Circuit,
+                 indices: Iterable[int] | None = None) -> None:
+        gates = circuit.gates
+        selected = list(indices) if indices is not None else list(range(len(gates)))
+        self._circuit = circuit
+        self._indegree: dict[int, int] = {}
+        self._successors: dict[int, list[int]] = {i: [] for i in selected}
+        selected_set = set(selected)
+        last_on_qubit: dict[int, int] = {}
+        for idx in selected:
+            gate = gates[idx]
+            indeg = 0
+            for qubit in gate.qubits:
+                previous = last_on_qubit.get(qubit)
+                if previous is not None and previous in selected_set:
+                    self._successors[previous].append(idx)
+                    indeg += 1
+                last_on_qubit[qubit] = idx
+            self._indegree[idx] = indeg
+        self._ready: set[int] = {i for i, d in self._indegree.items() if d == 0}
+        self._completed: set[int] = set()
+
+    # Construction helpers -------------------------------------------------
+    @classmethod
+    def _blank(cls) -> "FrontierTracker":
+        instance = cls.__new__(cls)
+        return instance
+
+    def clone(self) -> "FrontierTracker":
+        """Return an independent copy of the tracker state."""
+        other = FrontierTracker._blank()
+        other._circuit = self._circuit
+        other._indegree = dict(self._indegree)
+        other._successors = self._successors  # static, shared
+        other._ready = set(self._ready)
+        other._completed = set(self._completed)
+        return other
+
+    # Queries ---------------------------------------------------------------
+    @property
+    def circuit(self) -> Circuit:
+        return self._circuit
+
+    def ready(self) -> set[int]:
+        """Indices of gates whose predecessors have all completed."""
+        return set(self._ready)
+
+    def is_ready(self, index: int) -> bool:
+        return index in self._ready
+
+    def remaining(self) -> int:
+        """Number of gates not yet completed."""
+        return len(self._indegree) - len(self._completed)
+
+    def is_done(self) -> bool:
+        return self.remaining() == 0
+
+    def completed(self) -> set[int]:
+        return set(self._completed)
+
+    # Mutation ---------------------------------------------------------------
+    def complete(self, index: int) -> list[int]:
+        """Mark gate *index* executed; return newly ready gate indices."""
+        if index not in self._ready:
+            raise CircuitError(
+                f"gate {index} is not ready (predecessors incomplete)"
+            )
+        self._ready.discard(index)
+        self._completed.add(index)
+        newly_ready: list[int] = []
+        for succ in self._successors[index]:
+            self._indegree[succ] -= 1
+            if self._indegree[succ] == 0:
+                self._ready.add(succ)
+                newly_ready.append(succ)
+        return newly_ready
+
+    def complete_many(self, indices: Iterable[int]) -> None:
+        """Complete several gates; ordering inside *indices* must be valid."""
+        for index in indices:
+            self.complete(index)
+
+    def greedy_closure(self, accepts: "Callable[[Gate], bool]") -> list[int]:
+        """Gates executable in one pass if only *accepts*-gates may run.
+
+        Starting from the current ready set, repeatedly execute every ready
+        gate accepted by the predicate, releasing its successors, until no
+        accepted gate is ready.  The tracker itself is **not** modified; the
+        returned list is a valid execution order that can later be replayed
+        with :meth:`complete_many`.
+
+        This is the primitive behind the tape-movement scheduler's
+        "how many gates could run at head position p" query.  The cost is
+        proportional to the number of executed gates plus their successor
+        edges (an overlay of in-degrees is used instead of copying the
+        tracker).
+        """
+        gates = self._circuit.gates
+        executed: list[int] = []
+        overlay_indegree: dict[int, int] = {}
+        queue = [index for index in self._ready if accepts(gates[index])]
+        in_queue = set(queue)
+        while queue:
+            index = queue.pop()
+            executed.append(index)
+            for succ in self._successors[index]:
+                remaining = overlay_indegree.get(succ, self._indegree[succ]) - 1
+                overlay_indegree[succ] = remaining
+                if remaining == 0 and succ not in in_queue and accepts(gates[succ]):
+                    queue.append(succ)
+                    in_queue.add(succ)
+        return executed

@@ -1,0 +1,138 @@
+"""Minimal OpenQASM 2.0 export / import.
+
+Only the subset of OpenQASM needed to round-trip circuits built from this
+library's gate set is supported (a single quantum register, a single
+classical register for measurements, and the gates listed in
+:data:`repro.circuits.gate.GATE_SPECS`).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import GATE_SPECS, Gate
+from repro.exceptions import QasmError
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+#: Gate names that OpenQASM 2.0 / qelib1 spells differently from this IR.
+_EMIT_NAME = {"xx": "rxx"}
+_PARSE_NAME = {"rxx": "rxx", "xx": "xx"}
+
+
+def _format_angle(value: float) -> str:
+    """Render an angle, using multiples of pi when exact for readability."""
+    for denom in (1, 2, 4, 8, 16):
+        for num in range(-16 * denom, 16 * denom + 1):
+            if num == 0:
+                continue
+            if math.isclose(value, math.pi * num / denom, rel_tol=0, abs_tol=1e-12):
+                if denom == 1 and num == 1:
+                    return "pi"
+                if denom == 1 and num == -1:
+                    return "-pi"
+                if denom == 1:
+                    return f"{num}*pi"
+                if num == 1:
+                    return f"pi/{denom}"
+                if num == -1:
+                    return f"-pi/{denom}"
+                return f"{num}*pi/{denom}"
+    if value == 0:
+        return "0"
+    return repr(value)
+
+
+def circuit_to_qasm(circuit: Circuit) -> str:
+    """Serialise *circuit* to OpenQASM 2.0 text."""
+    lines = [_HEADER.rstrip("\n")]
+    lines.append(f"qreg q[{circuit.num_qubits}];")
+    if any(g.name == "measure" for g in circuit):
+        lines.append(f"creg c[{circuit.num_qubits}];")
+    for gate in circuit:
+        if gate.name == "barrier":
+            targets = ",".join(f"q[{q}]" for q in gate.qubits)
+            lines.append(f"barrier {targets};")
+            continue
+        if gate.name == "measure":
+            (q,) = gate.qubits
+            lines.append(f"measure q[{q}] -> c[{q}];")
+            continue
+        name = _EMIT_NAME.get(gate.name, gate.name)
+        targets = ",".join(f"q[{q}]" for q in gate.qubits)
+        if gate.params:
+            args = ",".join(_format_angle(p) for p in gate.params)
+            lines.append(f"{name}({args}) {targets};")
+        else:
+            lines.append(f"{name} {targets};")
+    return "\n".join(lines) + "\n"
+
+
+_QREG_RE = re.compile(r"qreg\s+(\w+)\[(\d+)\]")
+_CREG_RE = re.compile(r"creg\s+(\w+)\[(\d+)\]")
+_MEASURE_RE = re.compile(r"measure\s+(\w+)\[(\d+)\]\s*->\s*(\w+)\[(\d+)\]")
+_GATE_RE = re.compile(r"(\w+)\s*(?:\(([^)]*)\))?\s+(.+)")
+_QUBIT_RE = re.compile(r"(\w+)\[(\d+)\]")
+
+
+def _eval_angle(text: str) -> float:
+    """Evaluate a QASM angle expression (numbers, pi, + - * /)."""
+    cleaned = text.strip().replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[0-9eE\.\+\-\*/\(\) ]*", cleaned):
+        raise QasmError(f"unsupported angle expression: {text!r}")
+    try:
+        return float(eval(cleaned, {"__builtins__": {}}, {}))  # noqa: S307
+    except Exception as exc:  # pragma: no cover - defensive
+        raise QasmError(f"cannot evaluate angle {text!r}") from exc
+
+
+def qasm_to_circuit(text: str, name: str = "qasm") -> Circuit:
+    """Parse OpenQASM 2.0 text produced by :func:`circuit_to_qasm`."""
+    num_qubits: int | None = None
+    statements: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line:
+            continue
+        statements.extend(part.strip() for part in line.split(";") if part.strip())
+
+    circuit: Circuit | None = None
+    for stmt in statements:
+        if stmt.startswith("OPENQASM") or stmt.startswith("include"):
+            continue
+        qreg = _QREG_RE.match(stmt)
+        if qreg:
+            num_qubits = int(qreg.group(2))
+            circuit = Circuit(num_qubits, name)
+            continue
+        if _CREG_RE.match(stmt):
+            continue
+        if circuit is None:
+            raise QasmError("gate statement before qreg declaration")
+        measure = _MEASURE_RE.match(stmt)
+        if measure:
+            circuit.measure(int(measure.group(2)))
+            continue
+        match = _GATE_RE.match(stmt)
+        if not match:
+            raise QasmError(f"cannot parse statement: {stmt!r}")
+        gate_name, params_text, targets_text = match.groups()
+        gate_name = gate_name.lower()
+        if gate_name == "rxx":
+            gate_name = "rxx"
+        if gate_name not in GATE_SPECS:
+            raise QasmError(f"unsupported gate in QASM input: {gate_name!r}")
+        params = (
+            tuple(_eval_angle(p) for p in params_text.split(","))
+            if params_text
+            else ()
+        )
+        qubits = tuple(int(m.group(2)) for m in _QUBIT_RE.finditer(targets_text))
+        if not qubits:
+            raise QasmError(f"no qubit operands in statement: {stmt!r}")
+        circuit.append(Gate(gate_name, qubits, params))
+    if circuit is None:
+        raise QasmError("no qreg declaration found")
+    return circuit

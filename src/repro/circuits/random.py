@@ -1,0 +1,89 @@
+"""Random circuit utilities.
+
+These are used for property-based tests (random circuit round-trips, routing
+invariants) and as a building block of the RCS workload.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import GATE_SPECS
+
+_ONE_QUBIT_POOL = ("h", "x", "y", "z", "s", "t", "rx", "ry", "rz")
+_TWO_QUBIT_POOL = ("cx", "cz", "cp", "rzz", "swap")
+
+
+def _random_params(name: str, rng: random.Random) -> tuple[float, ...]:
+    """Draw uniformly random angles for however many parameters *name* takes."""
+    _, num_params = GATE_SPECS[name]
+    return tuple(rng.uniform(0, 2 * math.pi) for _ in range(num_params))
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    *,
+    seed: int | None = None,
+    two_qubit_fraction: float = 0.4,
+    one_qubit_pool: Sequence[str] = _ONE_QUBIT_POOL,
+    two_qubit_pool: Sequence[str] = _TWO_QUBIT_POOL,
+    max_span: int | None = None,
+) -> Circuit:
+    """Generate a random circuit.
+
+    Parameters
+    ----------
+    num_qubits, num_gates:
+        Register width and total gate count.
+    two_qubit_fraction:
+        Probability that each gate is two-qubit (when ``num_qubits >= 2``).
+    one_qubit_pool, two_qubit_pool:
+        Gate names to draw from; parameters are drawn uniformly in [0, 2*pi).
+    max_span:
+        If given, two-qubit gates only join qubits at most this far apart.
+    """
+    rng = random.Random(seed)
+    circuit = Circuit(num_qubits, name=f"random_{num_qubits}q")
+    for _ in range(num_gates):
+        make_two_qubit = num_qubits >= 2 and rng.random() < two_qubit_fraction
+        if make_two_qubit:
+            name = rng.choice(list(two_qubit_pool))
+            q1 = rng.randrange(num_qubits)
+            if max_span is None:
+                q2 = rng.choice([q for q in range(num_qubits) if q != q1])
+            else:
+                low = max(0, q1 - max_span)
+                high = min(num_qubits - 1, q1 + max_span)
+                q2 = rng.choice([q for q in range(low, high + 1) if q != q1])
+            circuit.add(name, q1, q2, params=_random_params(name, rng))
+        else:
+            name = rng.choice(list(one_qubit_pool))
+            q = rng.randrange(num_qubits)
+            circuit.add(name, q, params=_random_params(name, rng))
+    return circuit
+
+
+def random_native_circuit(
+    num_qubits: int,
+    num_gates: int,
+    *,
+    seed: int | None = None,
+    two_qubit_fraction: float = 0.4,
+    max_span: int | None = None,
+) -> Circuit:
+    """Random circuit restricted to the TILT native gate set (rx/ry/rz/xx)."""
+    circuit = random_circuit(
+        num_qubits,
+        num_gates,
+        seed=seed,
+        two_qubit_fraction=two_qubit_fraction,
+        one_qubit_pool=("rx", "ry", "rz"),
+        two_qubit_pool=("xx",),
+        max_span=max_span,
+    )
+    circuit.name = f"random_native_{num_qubits}q"
+    return circuit

@@ -1,0 +1,192 @@
+"""Gate and circuit unitaries.
+
+Used by the dense state-vector simulator and by the correctness tests that
+check the native-gate decompositions are equivalent (up to global phase) to
+the gates they replace.
+
+Conventions
+-----------
+* ``rx/ry/rz(theta) = exp(-i * theta/2 * P)`` (standard physics convention).
+* ``xx(theta) = exp(+i * theta * X (x) X)`` — the Molmer-Sorensen gate as
+  used in the TILT paper's CNOT decomposition, where ``xx(pi/4)`` is maximally
+  entangling.
+* ``rxx(theta) = exp(-i * theta/2 * X (x) X)`` and
+  ``rzz(theta) = exp(-i * theta/2 * Z (x) Z)`` (qiskit-compatible).
+* For multi-qubit gates the first listed qubit is the most significant bit of
+  the basis-state index (``cx(c, t)`` flips ``t`` when ``c`` is 1).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import Gate
+from repro.exceptions import SimulationError
+
+_I2 = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_H = np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2)
+
+
+def _rx(theta: float) -> np.ndarray:
+    return math.cos(theta / 2) * _I2 - 1j * math.sin(theta / 2) * _X
+
+
+def _ry(theta: float) -> np.ndarray:
+    return math.cos(theta / 2) * _I2 - 1j * math.sin(theta / 2) * _Y
+
+
+def _rz(theta: float) -> np.ndarray:
+    return np.diag([cmath.exp(-1j * theta / 2), cmath.exp(1j * theta / 2)])
+
+
+def _u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    return np.array(
+        [
+            [math.cos(theta / 2), -cmath.exp(1j * lam) * math.sin(theta / 2)],
+            [
+                cmath.exp(1j * phi) * math.sin(theta / 2),
+                cmath.exp(1j * (phi + lam)) * math.cos(theta / 2),
+            ],
+        ],
+        dtype=complex,
+    )
+
+
+def _two_qubit_exponential(pauli: np.ndarray, coefficient: complex) -> np.ndarray:
+    """exp(coefficient * pauli (x) pauli) for a Hermitian, involutory pauli."""
+    kron = np.kron(pauli, pauli)
+    return np.cosh(coefficient) * np.eye(4, dtype=complex) + np.sinh(coefficient) * kron
+
+
+def gate_matrix(gate: Gate) -> np.ndarray:
+    """Return the unitary matrix of *gate* (2^k x 2^k for a k-qubit gate)."""
+    name, params = gate.name, gate.params
+    if name == "id":
+        return _I2.copy()
+    if name == "x":
+        return _X.copy()
+    if name == "y":
+        return _Y.copy()
+    if name == "z":
+        return _Z.copy()
+    if name == "h":
+        return _H.copy()
+    if name == "s":
+        return np.diag([1, 1j]).astype(complex)
+    if name == "sdg":
+        return np.diag([1, -1j]).astype(complex)
+    if name == "t":
+        return np.diag([1, cmath.exp(1j * math.pi / 4)])
+    if name == "tdg":
+        return np.diag([1, cmath.exp(-1j * math.pi / 4)])
+    if name == "sx":
+        return 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+    if name == "rx":
+        return _rx(params[0])
+    if name == "ry":
+        return _ry(params[0])
+    if name == "rz":
+        return _rz(params[0])
+    if name == "p":
+        return np.diag([1, cmath.exp(1j * params[0])])
+    if name == "u3":
+        return _u3(*params)
+    if name == "cx":
+        return np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+        )
+    if name == "cz":
+        return np.diag([1, 1, 1, -1]).astype(complex)
+    if name == "swap":
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+        )
+    if name == "cp":
+        return np.diag([1, 1, 1, cmath.exp(1j * params[0])])
+    if name == "rzz":
+        theta = params[0]
+        return np.diag(
+            [
+                cmath.exp(-1j * theta / 2),
+                cmath.exp(1j * theta / 2),
+                cmath.exp(1j * theta / 2),
+                cmath.exp(-1j * theta / 2),
+            ]
+        )
+    if name == "rxx":
+        return _two_qubit_exponential(_X, -1j * params[0] / 2)
+    if name == "xx":
+        return _two_qubit_exponential(_X, 1j * params[0])
+    if name == "ccx":
+        matrix = np.eye(8, dtype=complex)
+        matrix[[6, 7], :] = matrix[[7, 6], :]
+        return matrix
+    raise SimulationError(f"gate {name!r} has no unitary matrix")
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """Compute the full unitary of *circuit* (exponential in qubit count).
+
+    Measurements are rejected; barriers are ignored.  Intended for
+    correctness checks on small circuits (<= ~10 qubits).
+    """
+    n = circuit.num_qubits
+    if n > 12:
+        raise SimulationError(
+            f"circuit_unitary limited to 12 qubits, got {n}"
+        )
+    dim = 2**n
+    unitary = np.eye(dim, dtype=complex)
+    for gate in circuit:
+        if gate.name == "barrier":
+            continue
+        if gate.name == "measure":
+            raise SimulationError("circuit_unitary cannot handle measurements")
+        unitary = _expand(gate_matrix(gate), gate.qubits, n) @ unitary
+    return unitary
+
+
+def _expand(matrix: np.ndarray, qubits: tuple[int, ...], n: int) -> np.ndarray:
+    """Embed a k-qubit gate matrix into the full 2^n-dimensional space."""
+    k = len(qubits)
+    dim = 2**n
+    full = np.zeros((dim, dim), dtype=complex)
+    # Qubit 0 is the most significant bit of the basis index.
+    shifts = [n - 1 - q for q in qubits]
+    other = [q for q in range(n) if q not in qubits]
+    other_shifts = [n - 1 - q for q in other]
+    for rest_bits in range(2 ** len(other)):
+        base = 0
+        for bit_index, shift in enumerate(other_shifts):
+            if (rest_bits >> (len(other) - 1 - bit_index)) & 1:
+                base |= 1 << shift
+        indices = []
+        for local in range(2**k):
+            index = base
+            for bit_index, shift in enumerate(shifts):
+                if (local >> (k - 1 - bit_index)) & 1:
+                    index |= 1 << shift
+            indices.append(index)
+        for row_local, row_global in enumerate(indices):
+            for col_local, col_global in enumerate(indices):
+                full[row_global, col_global] = matrix[row_local, col_local]
+    return full
+
+
+def allclose_up_to_global_phase(a: np.ndarray, b: np.ndarray,
+                                atol: float = 1e-9) -> bool:
+    """True if unitaries *a* and *b* differ only by a global phase."""
+    if a.shape != b.shape:
+        return False
+    overlap = np.trace(a.conj().T @ b)
+    if abs(overlap) < atol:
+        return False
+    phase = overlap / abs(overlap)
+    return bool(np.allclose(a * phase, b, atol=atol))

@@ -1,0 +1,68 @@
+"""Compilation statistics.
+
+Collects the structural quantities the paper reports for compiled circuits:
+swap counts and opposing-swap ratio (Figure 6), tape-move counts and travel
+distance (Table III), plus gate counts and depth of the scheduled circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.executable import ExecutableProgram
+from repro.compiler.routing import RoutingResult
+
+
+@dataclass(frozen=True)
+class CompileStats:
+    """Aggregate numbers describing one compiled program."""
+
+    num_gates: int
+    num_two_qubit_gates: int
+    num_one_qubit_gates: int
+    num_swaps: int
+    num_opposing_swaps: int
+    opposing_swap_ratio: float
+    max_swap_span: int
+    num_moves: int
+    move_distance_ions: int
+    move_distance_um: float
+    depth: int
+    time_decompose_s: float
+    time_swap_s: float
+    time_schedule_s: float
+
+    @property
+    def total_compile_time_s(self) -> float:
+        """Total wall-clock compile time."""
+        return self.time_decompose_s + self.time_swap_s + self.time_schedule_s
+
+
+def collect_stats(
+    routing: RoutingResult,
+    program: ExecutableProgram,
+    *,
+    time_decompose_s: float,
+    time_swap_s: float,
+    time_schedule_s: float,
+) -> CompileStats:
+    """Assemble :class:`CompileStats` from the routing and scheduling outputs."""
+    circuit = program.circuit
+    num_two_qubit = circuit.num_two_qubit_gates()
+    num_gates = circuit.num_gates()
+    return CompileStats(
+        num_gates=num_gates,
+        num_two_qubit_gates=num_two_qubit,
+        num_one_qubit_gates=num_gates - num_two_qubit,
+        num_swaps=routing.num_swaps,
+        num_opposing_swaps=routing.num_opposing_swaps,
+        opposing_swap_ratio=routing.opposing_swap_ratio,
+        max_swap_span=routing.max_swap_span(),
+        num_moves=program.num_moves,
+        move_distance_ions=program.move_distance_ions,
+        move_distance_um=program.move_distance_um,
+        depth=circuit.depth(),
+        time_decompose_s=time_decompose_s,
+        time_swap_s=time_swap_s,
+        time_schedule_s=time_schedule_s,
+    )

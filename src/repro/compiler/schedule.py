@@ -1,0 +1,127 @@
+"""Tape movement scheduling — Algorithm 2 of the paper.
+
+Given a routed circuit (every two-qubit gate fits under the laser head), the
+scheduler repeatedly picks the head position at which the largest number of
+dependency-ready gates can execute, executes them, and shuttles the tape to
+the next chosen position.  Minimising the number of tape movements directly
+improves the program success rate because every shuttle heats the chain
+(Section IV-D).
+
+The per-position query "how many gates could run here" is answered by
+:meth:`repro.circuits.dag.FrontierTracker.greedy_closure`, which simulates
+greedy execution restricted to the head window without mutating the shared
+tracker, so one scheduling step costs O(head positions x gates executed)
+rather than O(head positions x circuit size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.tilt import TiltDevice
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import FrontierTracker
+from repro.circuits.gate import Gate
+from repro.compiler.executable import ExecutableProgram, TapeSegment
+from repro.exceptions import SchedulingError
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tunable knobs of the tape-movement scheduler.
+
+    Attributes
+    ----------
+    initial_position:
+        Head position before the first segment; ``None`` lets the scheduler
+        choose freely (the first alignment is not counted as a move).
+    prefer_near_moves:
+        Tie-break equal scores by distance from the current position, so the
+        tape travels as little as possible when it must move anyway.
+    """
+
+    initial_position: int | None = None
+    prefer_near_moves: bool = True
+
+
+class TapeScheduler:
+    """Greedy max-executable-gates scheduler (Algorithm 2)."""
+
+    def __init__(self, device: TiltDevice,
+                 config: SchedulerConfig | None = None) -> None:
+        self.device = device
+        self.config = config or SchedulerConfig()
+        if (self.config.initial_position is not None
+                and self.config.initial_position not in device.head_positions()):
+            raise SchedulingError(
+                f"initial position {self.config.initial_position} invalid for "
+                f"{device.describe()}"
+            )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def schedule(self, circuit: Circuit) -> ExecutableProgram:
+        """Schedule *circuit* into tape segments covering every gate."""
+        for gate in circuit:
+            if gate.is_two_qubit and gate.span > self.device.max_gate_span:
+                raise SchedulingError(
+                    f"gate {gate} does not fit under the head; route first"
+                )
+            if gate.name == "barrier" and gate.span > self.device.max_gate_span:
+                raise SchedulingError(
+                    "full-width barriers cannot be scheduled; strip them first"
+                )
+
+        tracker = FrontierTracker(circuit)
+        segments: list[TapeSegment] = []
+        current_position = self.config.initial_position
+
+        while not tracker.is_done():
+            position, executable = self._best_position(tracker, current_position)
+            if not executable:
+                raise SchedulingError(
+                    "scheduler stalled: no executable gate at any head position"
+                )
+            tracker.complete_many(executable)
+            segments.append(TapeSegment(position, tuple(executable)))
+            current_position = position
+
+        program = ExecutableProgram(circuit, self.device, segments)
+        program.validate()
+        return program
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _best_position(self, tracker: FrontierTracker,
+                       current_position: int | None) -> tuple[int, list[int]]:
+        """Return the head position with the most executable gates (Eq. 2)."""
+        best_position = -1
+        best_executable: list[int] = []
+        best_key: tuple[int, int, int] | None = None
+        for position in self.device.head_positions():
+            window = self.device.window(position)
+            window_set = frozenset(window)
+
+            def accepts(gate: Gate, _window: frozenset[int] = window_set) -> bool:
+                return all(q in _window for q in gate.qubits)
+
+            executable = tracker.greedy_closure(accepts)
+            if current_position is None or not self.config.prefer_near_moves:
+                distance = 0
+            else:
+                distance = abs(position - current_position)
+            # Maximise count; tie-break on minimal travel, then leftmost.
+            key = (-len(executable), distance, position)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_position = position
+                best_executable = executable
+        return best_position, best_executable
+
+
+def schedule_tape_moves(circuit: Circuit, device: TiltDevice,
+                        config: SchedulerConfig | None = None) -> ExecutableProgram:
+    """Convenience wrapper around :class:`TapeScheduler`."""
+    return TapeScheduler(device, config).schedule(circuit)

@@ -1,0 +1,169 @@
+"""Baseline swap insertion (the paper's Qiskit-StochasticSwap stand-in).
+
+The paper's baseline resolves every unexecutable two-qubit gate with the
+Qiskit StochasticSwap pass configured to allow SWAPs as long as the laser
+head.  Qiskit is not available in this offline environment, so this module
+re-implements the two properties of that baseline that drive the Figure 6
+comparison:
+
+* every inserted SWAP covers the maximum executable span (``head_size - 1``
+  by default), so the tape is forced to one exact position per SWAP; and
+* SWAPs are chosen per gate without any lookahead, so opposing swaps only
+  happen by accident.
+
+The "stochastic" part is reproduced by running several seeded trials that
+randomise which endpoint of the long gate moves, and keeping the trial with
+the fewest SWAPs (ties broken by total SWAP span).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.arch.tilt import TiltDevice
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import Gate
+from repro.compiler.layout import QubitMapping
+from repro.compiler.routing import (
+    RoutingResult,
+    SwapRecord,
+    check_routed,
+    classify_opposing,
+    pending_two_qubit_gates,
+)
+from repro.exceptions import RoutingError
+
+
+class BaselineSwapInserter:
+    """Greedy full-span router with randomised endpoint choice.
+
+    Parameters
+    ----------
+    device:
+        Target TILT device.
+    max_swap_len:
+        Span of each inserted SWAP (defaults to the maximum executable span,
+        ``head_size - 1`` — the paper's "tape head size as the swap
+        distance" baseline).
+    trials:
+        Number of randomised routing attempts; the best (fewest swaps) is
+        returned.
+    seed:
+        Base random seed for the trials.
+    lookahead_for_classification:
+        Number of upcoming two-qubit gates consulted only to *classify*
+        accidental opposing swaps (does not influence routing decisions).
+    """
+
+    def __init__(
+        self,
+        device: TiltDevice,
+        *,
+        max_swap_len: int | None = None,
+        trials: int = 5,
+        seed: int = 11,
+        lookahead_for_classification: int = 20,
+    ) -> None:
+        if max_swap_len is None:
+            max_swap_len = device.max_gate_span
+        if not 1 <= max_swap_len <= device.max_gate_span:
+            raise RoutingError(
+                f"max_swap_len must be in [1, {device.max_gate_span}], "
+                f"got {max_swap_len}"
+            )
+        if trials < 1:
+            raise RoutingError("need at least one routing trial")
+        self.device = device
+        self.max_swap_len = max_swap_len
+        self.trials = trials
+        self.seed = seed
+        self.lookahead_for_classification = lookahead_for_classification
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def route(self, circuit: Circuit,
+              initial_mapping: QubitMapping | None = None) -> RoutingResult:
+        """Insert SWAPs; return the best of ``trials`` randomised attempts."""
+        if circuit.num_qubits > self.device.num_qubits:
+            raise RoutingError(
+                f"circuit has {circuit.num_qubits} qubits but the device has "
+                f"only {self.device.num_qubits}"
+            )
+        base_mapping = (
+            initial_mapping.copy()
+            if initial_mapping is not None
+            else QubitMapping.identity(self.device.num_qubits)
+        )
+        best: RoutingResult | None = None
+        best_key: tuple[int, int] | None = None
+        for trial in range(self.trials):
+            rng = random.Random(self.seed + trial)
+            result = self._route_once(circuit, base_mapping.copy(), rng)
+            key = (result.num_swaps,
+                   sum(record.span for record in result.swaps))
+            if best_key is None or key < best_key:
+                best, best_key = result, key
+        assert best is not None
+        check_routed(best.circuit, self.device)
+        return best
+
+    # ------------------------------------------------------------------
+    # Single randomised attempt
+    # ------------------------------------------------------------------
+    def _route_once(self, circuit: Circuit, mapping: QubitMapping,
+                    rng: random.Random) -> RoutingResult:
+        initial = mapping.copy()
+        routed = Circuit(self.device.num_qubits, f"{circuit.name}_routed")
+        swaps: list[SwapRecord] = []
+        for index, gate in enumerate(circuit):
+            if not gate.is_two_qubit:
+                routed.append(mapping.apply_to_gate(gate))
+                continue
+            guard = 0
+            while mapping.gate_distance(gate) > self.device.max_gate_span:
+                guard += 1
+                if guard > 2 * self.device.num_qubits:
+                    raise RoutingError(
+                        f"baseline routing failed to converge for gate {gate}"
+                    )
+                self._insert_swap(gate, index, circuit, mapping, routed,
+                                  swaps, rng)
+            routed.append(mapping.apply_to_gate(gate))
+        return RoutingResult(routed, initial, mapping, swaps)
+
+    def _insert_swap(
+        self,
+        gate: Gate,
+        gate_index: int,
+        circuit: Circuit,
+        mapping: QubitMapping,
+        routed: Circuit,
+        swaps: list[SwapRecord],
+        rng: random.Random,
+    ) -> None:
+        """Move a randomly chosen endpoint the full SWAP span inward."""
+        position_a = mapping.physical(gate.qubits[0])
+        position_b = mapping.physical(gate.qubits[1])
+        low, high = min(position_a, position_b), max(position_a, position_b)
+        distance = high - low
+        step = min(self.max_swap_len, distance - 1)
+        move_left_end = rng.random() < 0.5
+        if move_left_end:
+            pair = (low, low + step)
+        else:
+            pair = (high - step, high)
+        pending = pending_two_qubit_gates(
+            circuit, gate_index, self.lookahead_for_classification
+        )
+        opposing = classify_opposing(pair[0], pair[1], pending, mapping)
+        swaps.append(
+            SwapRecord(
+                physical_pair=pair,
+                gate_index=len(routed),
+                resolving_gate_index=gate_index,
+                opposing=opposing,
+            )
+        )
+        routed.append(Gate("swap", pair))
+        mapping.swap_physical(*pair)

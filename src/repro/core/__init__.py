@@ -1,0 +1,30 @@
+"""High-level toolflow API: the LinQ facade, comparisons and sweeps."""
+
+from repro.core.comparison import (
+    ArchitectureComparison,
+    compare_architectures,
+    tilt_vs_qccd_ratios,
+)
+from repro.core.linq import LinQ, LinQRunReport
+from repro.core.sweep import (
+    SweepPoint,
+    alpha_sweep,
+    find_best_max_swap_len,
+    lookahead_sweep,
+    mapper_sweep,
+    max_swap_len_sweep,
+)
+
+__all__ = [
+    "ArchitectureComparison",
+    "LinQ",
+    "LinQRunReport",
+    "SweepPoint",
+    "alpha_sweep",
+    "compare_architectures",
+    "find_best_max_swap_len",
+    "lookahead_sweep",
+    "mapper_sweep",
+    "max_swap_len_sweep",
+    "tilt_vs_qccd_ratios",
+]

@@ -1,0 +1,116 @@
+"""Top-level LinQ toolflow facade.
+
+This is the primary public API of the reproduction: it bundles the compiler
+(Figure 4's three passes) and the noisy simulator behind a single object, so
+a typical user interaction is::
+
+    from repro import LinQ, TiltDevice, workloads
+
+    device = TiltDevice(num_qubits=64, head_size=16)
+    toolflow = LinQ(device)
+    report = toolflow.run(workloads.qft_workload(64))
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.tilt import TiltDevice
+from repro.circuits.circuit import Circuit
+from repro.compiler.pipeline import CompileResult, CompilerConfig, LinQCompiler
+from repro.noise.parameters import NoiseParameters
+from repro.sim.result import SimulationResult
+from repro.sim.tilt_sim import TiltSimulator
+
+
+@dataclass
+class LinQRunReport:
+    """Compilation plus simulation outcome for one circuit."""
+
+    compile_result: CompileResult
+    simulation: SimulationResult
+
+    @property
+    def success_rate(self) -> float:
+        """Estimated program success rate."""
+        return self.simulation.success_rate
+
+    @property
+    def log10_success_rate(self) -> float:
+        return self.simulation.log10_success_rate
+
+    @property
+    def execution_time_s(self) -> float:
+        """Estimated on-device execution time in seconds."""
+        return self.simulation.execution_time_s
+
+    @property
+    def num_swaps(self) -> int:
+        return self.compile_result.stats.num_swaps
+
+    @property
+    def num_moves(self) -> int:
+        return self.compile_result.stats.num_moves
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        return "\n".join(
+            [
+                self.compile_result.summary(),
+                f"  success rate : {self.simulation.success_rate:.4e} "
+                f"(log10 {self.simulation.log10_success_rate:.2f})",
+                f"  exec time    : {self.simulation.execution_time_s:.3f} s",
+            ]
+        )
+
+
+class LinQ:
+    """The LinQ toolflow: compile + simulate for one TILT device."""
+
+    def __init__(
+        self,
+        device: TiltDevice,
+        compiler_config: CompilerConfig | None = None,
+        noise_params: NoiseParameters | None = None,
+    ) -> None:
+        self.device = device
+        self.compiler = LinQCompiler(device, compiler_config)
+        self.simulator = TiltSimulator(
+            device, noise_params or NoiseParameters.paper_defaults()
+        )
+
+    @property
+    def config(self) -> CompilerConfig:
+        """The compiler configuration in use."""
+        return self.compiler.config
+
+    @property
+    def noise(self) -> NoiseParameters:
+        """The noise calibration in use."""
+        return self.simulator.params
+
+    # ------------------------------------------------------------------
+    # Toolflow steps
+    # ------------------------------------------------------------------
+    def compile(self, circuit: Circuit) -> CompileResult:
+        """Run the full compiler pipeline on *circuit*."""
+        return self.compiler.compile(circuit)
+
+    def simulate(self, compiled: CompileResult) -> SimulationResult:
+        """Estimate success rate and run time of a compiled program."""
+        return self.simulator.run(compiled)
+
+    def run(self, circuit: Circuit) -> LinQRunReport:
+        """Compile and simulate *circuit* in one call."""
+        compiled = self.compile(circuit)
+        simulation = self.simulate(compiled)
+        return LinQRunReport(compiled, simulation)
+
+    def with_config(self, **overrides: object) -> "LinQ":
+        """Return a new toolflow with compiler-config fields replaced."""
+        return LinQ(
+            self.device,
+            self.compiler.config.with_overrides(**overrides),
+            self.simulator.params,
+        )

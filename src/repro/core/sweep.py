@@ -1,0 +1,158 @@
+"""Parameter sweeps (Figure 7 and the ablation studies).
+
+The central sweep is over ``MaxSwapLen``: restricting the span of inserted
+SWAPs below the maximum executable span costs a few extra SWAPs but gives
+the tape-movement scheduler more freedom, and somewhere in between lies the
+success-rate sweet spot (Figure 7).  :func:`find_best_max_swap_len` automates
+the paper's "iterate the LinQ procedure to find the best choice" loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.tilt import TiltDevice
+from repro.circuits.circuit import Circuit
+from repro.compiler.pipeline import CompilerConfig, LinQCompiler
+from repro.noise.parameters import NoiseParameters
+from repro.sim.tilt_sim import TiltSimulator
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of a sweep and its measured outcomes."""
+
+    parameter: str
+    value: float
+    num_swaps: int
+    num_opposing_swaps: int
+    num_moves: int
+    move_distance_um: float
+    success_rate: float
+    log10_success_rate: float
+    execution_time_s: float
+
+
+def _evaluate(circuit: Circuit, device: TiltDevice, config: CompilerConfig,
+              params: NoiseParameters, parameter: str,
+              value: float) -> SweepPoint:
+    compiled = LinQCompiler(device, config).compile(circuit)
+    result = TiltSimulator(device, params).run(compiled)
+    stats = compiled.stats
+    return SweepPoint(
+        parameter=parameter,
+        value=value,
+        num_swaps=stats.num_swaps,
+        num_opposing_swaps=stats.num_opposing_swaps,
+        num_moves=stats.num_moves,
+        move_distance_um=stats.move_distance_um,
+        success_rate=result.success_rate,
+        log10_success_rate=result.log10_success_rate,
+        execution_time_s=result.execution_time_s,
+    )
+
+
+def max_swap_len_sweep(
+    circuit: Circuit,
+    device: TiltDevice,
+    lengths: list[int] | None = None,
+    *,
+    base_config: CompilerConfig | None = None,
+    noise_params: NoiseParameters | None = None,
+) -> list[SweepPoint]:
+    """Compile and simulate *circuit* once per MaxSwapLen value (Fig. 7).
+
+    ``lengths`` defaults to ``head_size - 1`` down to ``head_size / 2``, the
+    range plotted in Figure 7.
+    """
+    if lengths is None:
+        lengths = list(range(device.max_gate_span, device.head_size // 2 - 1, -1))
+    config = base_config or CompilerConfig()
+    params = noise_params or NoiseParameters.paper_defaults()
+    points = []
+    for length in lengths:
+        point = _evaluate(
+            circuit,
+            device,
+            config.with_overrides(max_swap_len=length),
+            params,
+            "max_swap_len",
+            length,
+        )
+        points.append(point)
+    return points
+
+
+def find_best_max_swap_len(
+    circuit: Circuit,
+    device: TiltDevice,
+    lengths: list[int] | None = None,
+    *,
+    base_config: CompilerConfig | None = None,
+    noise_params: NoiseParameters | None = None,
+) -> SweepPoint:
+    """The sweep point with the highest success rate (paper Section IV-C)."""
+    points = max_swap_len_sweep(
+        circuit, device, lengths,
+        base_config=base_config, noise_params=noise_params,
+    )
+    return max(points, key=lambda point: point.log10_success_rate)
+
+
+def alpha_sweep(
+    circuit: Circuit,
+    device: TiltDevice,
+    alphas: list[float] | None = None,
+    *,
+    base_config: CompilerConfig | None = None,
+    noise_params: NoiseParameters | None = None,
+) -> list[SweepPoint]:
+    """Ablation: sensitivity of the Eq. 1 score to the discount factor."""
+    alphas = alphas or [0.3, 0.5, 0.7, 0.8, 0.9, 0.95]
+    config = base_config or CompilerConfig()
+    params = noise_params or NoiseParameters.paper_defaults()
+    return [
+        _evaluate(circuit, device, config.with_overrides(alpha=alpha),
+                  params, "alpha", alpha)
+        for alpha in alphas
+    ]
+
+
+def lookahead_sweep(
+    circuit: Circuit,
+    device: TiltDevice,
+    windows: list[int] | None = None,
+    *,
+    base_config: CompilerConfig | None = None,
+    noise_params: NoiseParameters | None = None,
+) -> list[SweepPoint]:
+    """Ablation: sensitivity to the Eq. 1 lookahead window size."""
+    windows = windows or [1, 5, 10, 20, 40]
+    config = base_config or CompilerConfig()
+    params = noise_params or NoiseParameters.paper_defaults()
+    return [
+        _evaluate(circuit, device,
+                  config.with_overrides(lookahead_window=window),
+                  params, "lookahead_window", window)
+        for window in windows
+    ]
+
+
+def mapper_sweep(
+    circuit: Circuit,
+    device: TiltDevice,
+    mappers: list[str] | None = None,
+    *,
+    base_config: CompilerConfig | None = None,
+    noise_params: NoiseParameters | None = None,
+) -> dict[str, SweepPoint]:
+    """Ablation: effect of the initial-mapping heuristic."""
+    mappers = mappers or ["trivial", "spectral", "greedy"]
+    config = base_config or CompilerConfig()
+    params = noise_params or NoiseParameters.paper_defaults()
+    return {
+        mapper: _evaluate(circuit, device,
+                          config.with_overrides(mapper=mapper),
+                          params, "mapper", index)
+        for index, mapper in enumerate(mappers)
+    }

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the TILT reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or invalid gate construction."""
+
+
+class QasmError(ReproError):
+    """Raised when OpenQASM text cannot be parsed or emitted."""
+
+
+class DeviceError(ReproError):
+    """Raised for invalid device specifications."""
+
+
+class CompilationError(ReproError):
+    """Raised when a compiler pass cannot produce a valid result."""
+
+
+class RoutingError(CompilationError):
+    """Raised when swap insertion cannot make a gate executable."""
+
+
+class SchedulingError(CompilationError):
+    """Raised when the tape movement scheduler cannot make progress."""
+
+
+class SimulationError(ReproError):
+    """Raised for invalid simulator inputs or unsupported operations."""

@@ -1,0 +1,32 @@
+"""Trapped-ion noise model: gate times (Eq. 3), heating, fidelity (Eq. 4)."""
+
+from repro.noise.fidelity import (
+    SuccessRateAccumulator,
+    gate_fidelity,
+    measurement_fidelity,
+    one_qubit_fidelity,
+    two_qubit_fidelity,
+)
+from repro.noise.gate_times import (
+    XX_GATES_PER_SWAP,
+    critical_path_time_us,
+    gate_time_us,
+    two_qubit_gate_time_us,
+)
+from repro.noise.heating import ChainHeatingState, quanta_after_moves
+from repro.noise.parameters import NoiseParameters
+
+__all__ = [
+    "ChainHeatingState",
+    "NoiseParameters",
+    "SuccessRateAccumulator",
+    "XX_GATES_PER_SWAP",
+    "critical_path_time_us",
+    "gate_fidelity",
+    "gate_time_us",
+    "measurement_fidelity",
+    "one_qubit_fidelity",
+    "quanta_after_moves",
+    "two_qubit_fidelity",
+    "two_qubit_gate_time_us",
+]

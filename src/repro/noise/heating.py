@@ -1,0 +1,101 @@
+"""Motional-heating bookkeeping.
+
+The fidelity of a Molmer-Sorensen gate degrades with the motional energy of
+the ion chain it runs on (Section II-B / IV-E).  Two sources are tracked:
+
+* **shuttling heating** — each start/stop of a chain move deposits a fixed
+  number of quanta that scales like ``sqrt(n)`` with chain length;
+* **QCCD primitives** — split, merge, segment shuttles and swap-to-edge
+  operations, each depositing ``qccd_shuttle_quanta``.
+
+:class:`ChainHeatingState` is the mutable accumulator both simulators use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+from repro.noise.parameters import NoiseParameters
+
+
+@dataclass
+class ChainHeatingState:
+    """Accumulated motional quanta of one ion chain.
+
+    Parameters
+    ----------
+    params:
+        Noise parameters providing the per-event heating amounts.
+    chain_length:
+        Number of ions currently in the chain (TILT: the whole tape;
+        QCCD: the trap's occupancy, updated on split/merge).
+    """
+
+    params: NoiseParameters
+    chain_length: int
+    quanta: float = 0.0
+    num_shuttles: int = 0
+    num_qccd_ops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.chain_length <= 0:
+            raise SimulationError("chain length must be positive")
+        if self.quanta < 0:
+            raise SimulationError("motional quanta cannot be negative")
+
+    # ------------------------------------------------------------------
+    # Heating events
+    # ------------------------------------------------------------------
+    def record_linear_shuttle(self) -> float:
+        """Add the heating of one full-chain linear shuttle; return the amount."""
+        added = self.params.shuttle_quanta(self.chain_length)
+        self.quanta += added
+        self.num_shuttles += 1
+        return added
+
+    def record_qccd_primitive(self, count: int = 1) -> float:
+        """Add heating for *count* QCCD primitives (split/merge/shuttle/swap)."""
+        if count < 0:
+            raise SimulationError("primitive count cannot be negative")
+        added = count * self.params.qccd_shuttle_quanta
+        self.quanta += added
+        self.num_qccd_ops += count
+        return added
+
+    def apply_cooling(self, factor: float | None = None) -> None:
+        """Sympathetic cooling: scale the accumulated quanta by *factor*.
+
+        Defaults to the parameters' ``qccd_cooling_factor``.
+        """
+        if factor is None:
+            factor = self.params.qccd_cooling_factor
+        if not 0.0 <= factor <= 1.0:
+            raise SimulationError("cooling factor must be in [0, 1]")
+        self.quanta *= factor
+
+    def set_chain_length(self, chain_length: int) -> None:
+        """Update the chain length (QCCD traps change size on split/merge)."""
+        if chain_length <= 0:
+            raise SimulationError("chain length must be positive")
+        self.chain_length = chain_length
+
+    def cooled(self) -> "ChainHeatingState":
+        """Return a copy with the motional energy reset (sympathetic cooling)."""
+        return ChainHeatingState(self.params, self.chain_length, 0.0)
+
+
+def quanta_after_moves(num_moves: int, chain_length: int,
+                       params: NoiseParameters) -> float:
+    """Total quanta after *num_moves* tape moves of a chain of given length.
+
+    This is the ``m * k`` quantity appearing in Eq. 4 for TILT.  When the
+    Section VII sympathetic-cooling extension is enabled
+    (``tilt_cooling_interval_moves > 0``), only the moves since the most
+    recent cooling pause contribute.
+    """
+    if num_moves < 0:
+        raise SimulationError("number of moves cannot be negative")
+    interval = params.tilt_cooling_interval_moves
+    effective_moves = num_moves if interval <= 0 else num_moves % interval
+    return effective_moves * params.shuttle_quanta(chain_length)

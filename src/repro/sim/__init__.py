@@ -1,0 +1,21 @@
+"""Simulators: exact statevector plus noisy TILT / QCCD / Ideal-TI models."""
+
+from repro.sim.ideal_sim import IdealSimulator
+from repro.sim.qccd_sim import QccdSimulator
+from repro.sim.result import SimulationResult
+from repro.sim.statevector import (
+    MAX_STATEVECTOR_QUBITS,
+    StatevectorSimulator,
+    states_equal_up_to_global_phase,
+)
+from repro.sim.tilt_sim import TiltSimulator
+
+__all__ = [
+    "IdealSimulator",
+    "MAX_STATEVECTOR_QUBITS",
+    "QccdSimulator",
+    "SimulationResult",
+    "StatevectorSimulator",
+    "TiltSimulator",
+    "states_equal_up_to_global_phase",
+]

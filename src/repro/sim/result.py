@@ -1,0 +1,72 @@
+"""Simulation result containers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one noisy architectural simulation.
+
+    Attributes
+    ----------
+    architecture:
+        Human-readable configuration label (e.g. ``"TILT head 16"``).
+    circuit_name:
+        Name of the simulated workload.
+    success_rate:
+        Estimated program success probability (product of gate fidelities).
+        May underflow to 0.0 for very deep circuits; use
+        ``log10_success_rate`` for plotting.
+    log10_success_rate:
+        log10 of the success rate, computed without underflow.
+    execution_time_us:
+        Estimated wall-clock execution time (Eq. 5) in microseconds.
+    num_gates, num_two_qubit_gates:
+        Size of the executed circuit (after routing, where applicable).
+    num_moves:
+        Tape moves (TILT) or ion transports (QCCD); 0 for the ideal device.
+    move_distance_um:
+        Total shuttling travel in micrometres (TILT only; 0 otherwise).
+    average_gate_fidelity, worst_gate_fidelity:
+        Geometric mean / minimum of the per-gate fidelities.
+    extras:
+        Architecture-specific details (e.g. per-trap heating for QCCD).
+    """
+
+    architecture: str
+    circuit_name: str
+    success_rate: float
+    log10_success_rate: float
+    execution_time_us: float
+    num_gates: int
+    num_two_qubit_gates: int
+    num_moves: int
+    move_distance_um: float
+    average_gate_fidelity: float
+    worst_gate_fidelity: float
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def execution_time_s(self) -> float:
+        """Execution time in seconds."""
+        return self.execution_time_us * 1e-6
+
+    def success_ratio_over(self, other: "SimulationResult") -> float:
+        """How many times more likely this run is to succeed than *other*.
+
+        Computed in log space so it stays finite even when both success
+        rates underflow ordinary floats.
+        """
+        return math.pow(10.0, self.log10_success_rate - other.log10_success_rate)
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (
+            f"{self.architecture:<16} {self.circuit_name:<8} "
+            f"success={self.success_rate:.3e} "
+            f"(log10={self.log10_success_rate:.2f}) "
+            f"time={self.execution_time_s:.3f}s moves={self.num_moves}"
+        )

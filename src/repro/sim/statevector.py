@@ -1,0 +1,129 @@
+"""Dense state-vector simulator.
+
+This is the correctness substrate of the reproduction: it executes circuits
+exactly (no noise) so tests can verify that the workload generators compute
+what they claim (the adder adds, BV recovers its secret, Grover amplifies
+the marked state) and that compiled circuits remain equivalent to their
+sources up to the mapping permutation.
+
+The simulator is intentionally simple — it targets the widths used in tests
+(up to ~16 qubits), not the 64-qubit experiment sizes, which only ever go
+through the analytical fidelity model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import Gate
+from repro.circuits.unitary import gate_matrix
+from repro.exceptions import SimulationError
+
+#: Hard cap on simulated width to avoid accidental exponential blow-ups.
+MAX_STATEVECTOR_QUBITS = 22
+
+
+class StatevectorSimulator:
+    """Exact (noise-free) circuit execution on a dense state vector."""
+
+    def __init__(self, max_qubits: int = MAX_STATEVECTOR_QUBITS) -> None:
+        self.max_qubits = max_qubits
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, circuit: Circuit,
+            initial_state: np.ndarray | None = None) -> np.ndarray:
+        """Return the final state vector of *circuit*.
+
+        Measurements and barriers are ignored (the state is left un-collapsed
+        so tests can inspect exact amplitudes).
+        """
+        n = circuit.num_qubits
+        if n > self.max_qubits:
+            raise SimulationError(
+                f"statevector simulation limited to {self.max_qubits} qubits, "
+                f"got {n}"
+            )
+        if initial_state is None:
+            state = np.zeros(2**n, dtype=complex)
+            state[0] = 1.0
+        else:
+            state = np.asarray(initial_state, dtype=complex).copy()
+            if state.shape != (2**n,):
+                raise SimulationError("initial state has the wrong dimension")
+        tensor = state.reshape((2,) * n)
+        for gate in circuit:
+            if gate.name in ("barrier", "measure"):
+                continue
+            tensor = _apply_gate(tensor, gate, n)
+        return tensor.reshape(2**n)
+
+    # ------------------------------------------------------------------
+    # Read-out helpers
+    # ------------------------------------------------------------------
+    def probabilities(self, circuit: Circuit) -> np.ndarray:
+        """Measurement probabilities of every basis state after *circuit*."""
+        amplitudes = self.run(circuit)
+        return np.abs(amplitudes) ** 2
+
+    def sample(self, circuit: Circuit, shots: int = 1024,
+               seed: int | None = None) -> dict[str, int]:
+        """Sample measurement outcomes (bit string -> count)."""
+        if shots <= 0:
+            raise SimulationError("shots must be positive")
+        probabilities = self.probabilities(circuit)
+        rng = np.random.default_rng(seed)
+        outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
+        n = circuit.num_qubits
+        counts: dict[str, int] = {}
+        for outcome in outcomes:
+            bits = format(int(outcome), f"0{n}b")
+            counts[bits] = counts.get(bits, 0) + 1
+        return counts
+
+    def most_probable(self, circuit: Circuit) -> str:
+        """The single most likely measurement outcome (qubit 0 leftmost)."""
+        probabilities = self.probabilities(circuit)
+        return format(int(np.argmax(probabilities)), f"0{circuit.num_qubits}b")
+
+    def expectation_z(self, circuit: Circuit, qubit: int) -> float:
+        """<Z> on *qubit* after running *circuit*."""
+        if not 0 <= qubit < circuit.num_qubits:
+            raise SimulationError("qubit index out of range")
+        probabilities = self.probabilities(circuit)
+        n = circuit.num_qubits
+        expectation = 0.0
+        for basis_state, probability in enumerate(probabilities):
+            bit = (basis_state >> (n - 1 - qubit)) & 1
+            expectation += probability * (1.0 if bit == 0 else -1.0)
+        return float(expectation)
+
+
+def _apply_gate(tensor: np.ndarray, gate: Gate, n: int) -> np.ndarray:
+    """Apply *gate* to the state tensor (qubit 0 = axis 0)."""
+    matrix = gate_matrix(gate)
+    k = gate.num_qubits
+    reshaped = matrix.reshape((2,) * (2 * k))
+    axes = list(gate.qubits)
+    # Contract the gate's "input" indices with the state's qubit axes.
+    tensor = np.tensordot(reshaped, tensor, axes=(list(range(k, 2 * k)), axes))
+    # tensordot puts the gate's output indices first; move them back.
+    return np.moveaxis(tensor, list(range(k)), axes)
+
+
+def states_equal_up_to_global_phase(state_a: np.ndarray, state_b: np.ndarray,
+                                    atol: float = 1e-9) -> bool:
+    """True when two state vectors differ only by a global phase."""
+    state_a = np.asarray(state_a)
+    state_b = np.asarray(state_b)
+    if state_a.shape != state_b.shape:
+        return False
+    overlap = np.vdot(state_a, state_b)
+    norm = np.linalg.norm(state_a) * np.linalg.norm(state_b)
+    if norm == 0:
+        return False
+    return bool(math.isclose(abs(overlap), norm, rel_tol=0, abs_tol=atol))

@@ -1,0 +1,101 @@
+"""Noisy TILT simulator (Section IV-E).
+
+Replays an :class:`~repro.compiler.executable.ExecutableProgram` against the
+heating-aware fidelity model: every gate in segment *m* (i.e. after *m* tape
+moves) sees a chain with ``m * k`` motional quanta and its fidelity follows
+Eq. 4; the program success rate is the product of all gate fidelities.  The
+execution-time estimate follows Eq. 5: tape travel at the shuttling speed
+plus the critical path of gate durations.
+"""
+
+from __future__ import annotations
+
+from repro.arch.tilt import TiltDevice
+from repro.compiler.executable import ExecutableProgram
+from repro.compiler.pipeline import CompileResult
+from repro.exceptions import SimulationError
+from repro.noise.fidelity import SuccessRateAccumulator, gate_fidelity
+from repro.noise.gate_times import gate_time_us
+from repro.noise.heating import quanta_after_moves
+from repro.noise.parameters import NoiseParameters
+from repro.sim.result import SimulationResult
+
+
+class TiltSimulator:
+    """Success-rate and execution-time estimator for compiled TILT programs."""
+
+    def __init__(self, device: TiltDevice,
+                 params: NoiseParameters | None = None) -> None:
+        self.device = device
+        self.params = params or NoiseParameters.paper_defaults()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, program: ExecutableProgram | CompileResult,
+            *, circuit_name: str | None = None) -> SimulationResult:
+        """Simulate a scheduled program (or a full compile result)."""
+        if isinstance(program, CompileResult):
+            name = circuit_name or program.source_circuit.name
+            program = program.program
+        else:
+            name = circuit_name or program.circuit.name
+        if program.device.num_qubits != self.device.num_qubits:
+            raise SimulationError(
+                "program was scheduled for a different chain length"
+            )
+
+        accumulator = SuccessRateAccumulator()
+        chain_length = self.device.num_qubits
+        for gate, moves_before in program.gates_with_move_counts():
+            quanta = quanta_after_moves(moves_before, chain_length, self.params)
+            accumulator.add(gate_fidelity(gate, quanta, self.params))
+
+        execution_time = self._execution_time_us(program)
+        circuit = program.circuit
+        return SimulationResult(
+            architecture=f"TILT head {self.device.head_size}",
+            circuit_name=name,
+            success_rate=accumulator.success_rate,
+            log10_success_rate=accumulator.log10_success_rate,
+            execution_time_us=execution_time,
+            num_gates=circuit.num_gates(),
+            num_two_qubit_gates=circuit.num_two_qubit_gates(),
+            num_moves=program.num_moves,
+            move_distance_um=program.move_distance_um,
+            average_gate_fidelity=accumulator.average_gate_fidelity,
+            worst_gate_fidelity=accumulator.worst_gate_fidelity,
+            extras={
+                "final_quanta": quanta_after_moves(
+                    program.num_moves, chain_length, self.params
+                ),
+                "num_segments": float(len(program.segments)),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Execution time (Eq. 5)
+    # ------------------------------------------------------------------
+    def _execution_time_us(self, program: ExecutableProgram) -> float:
+        """Tape travel time plus per-segment gate critical paths."""
+        shuttle_time = (
+            program.move_distance_um / self.params.shuttle_speed_um_per_us
+        )
+        interval = self.params.tilt_cooling_interval_moves
+        if interval > 0:
+            shuttle_time += (
+                program.num_moves // interval
+            ) * self.params.tilt_cooling_time_us
+        gate_time = 0.0
+        for _, gates in program.gates_by_segment():
+            finish_at: dict[int, float] = {}
+            segment_end = 0.0
+            for gate in gates:
+                start = max((finish_at.get(q, 0.0) for q in gate.qubits),
+                            default=0.0)
+                end = start + gate_time_us(gate, self.params)
+                for qubit in gate.qubits:
+                    finish_at[qubit] = end
+                segment_end = max(segment_end, end)
+            gate_time += segment_end
+        return shuttle_time + gate_time

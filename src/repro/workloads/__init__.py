@@ -1,0 +1,48 @@
+"""Table II benchmark workloads (ADDER, BV, QAOA, RCS, QFT, SQRT)."""
+
+from repro.workloads.adder import adder_workload, cuccaro_adder
+from repro.workloads.bv import bernstein_vazirani, bv_workload
+from repro.workloads.grover import grover_sqrt, sqrt_workload
+from repro.workloads.qaoa import (
+    line_graph_edges,
+    qaoa_maxcut,
+    qaoa_workload,
+    random_regular_edges,
+    ring_graph_edges,
+)
+from repro.workloads.qft import qft, qft_workload
+from repro.workloads.rcs import random_circuit_sampling, rcs_workload
+from repro.workloads.suite import (
+    BenchmarkSpec,
+    benchmark,
+    build_workload,
+    routing_suite,
+    standard_suite,
+    suite_qubits,
+    table2_rows,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "adder_workload",
+    "benchmark",
+    "bernstein_vazirani",
+    "build_workload",
+    "bv_workload",
+    "cuccaro_adder",
+    "grover_sqrt",
+    "line_graph_edges",
+    "qaoa_maxcut",
+    "qaoa_workload",
+    "qft",
+    "qft_workload",
+    "random_circuit_sampling",
+    "random_regular_edges",
+    "rcs_workload",
+    "ring_graph_edges",
+    "routing_suite",
+    "sqrt_workload",
+    "standard_suite",
+    "suite_qubits",
+    "table2_rows",
+]

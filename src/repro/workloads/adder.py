@@ -1,0 +1,102 @@
+"""Cuccaro ripple-carry adder (Table II: ADDER).
+
+Implements the CDKM ripple-carry adder of Cuccaro et al.
+(arXiv:quant-ph/0410184) on ``2 * n_bits + 2`` qubits: one incoming-carry
+qubit, the two ``n_bits``-wide operand registers interleaved as
+``(a_i, b_i)`` pairs, and one outgoing-carry qubit.  The interleaved layout
+keeps the MAJ/UMA blocks acting on physically adjacent qubits, which is why
+the paper classifies ADDER as a short-distance-communication workload.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import CircuitError
+
+
+def _maj(circuit: Circuit, carry: int, b: int, a: int) -> None:
+    """Majority block of the Cuccaro adder."""
+    circuit.cx(a, b)
+    circuit.cx(a, carry)
+    circuit.ccx(carry, b, a)
+
+
+def _uma(circuit: Circuit, carry: int, b: int, a: int) -> None:
+    """Un-majority-and-add block (3-CNOT version)."""
+    circuit.ccx(carry, b, a)
+    circuit.cx(a, carry)
+    circuit.cx(carry, b)
+
+
+def cuccaro_adder(n_bits: int, *, with_input_prep: bool = True,
+                  a_value: int = 0, b_value: int = 0) -> Circuit:
+    """Build an ``n_bits``-bit Cuccaro ripple-carry adder.
+
+    Parameters
+    ----------
+    n_bits:
+        Width of each operand register.
+    with_input_prep:
+        When True, X gates encode ``a_value`` and ``b_value`` into the
+        operand registers so the circuit computes a concrete sum.
+    a_value, b_value:
+        Classical operand values (only used when ``with_input_prep``).
+
+    Returns
+    -------
+    Circuit
+        Circuit on ``2 * n_bits + 2`` qubits.  Qubit 0 is the incoming
+        carry, qubit ``2 * n_bits + 1`` the outgoing carry, and bit *i* of
+        operands a/b live at qubits ``2 i + 2`` and ``2 i + 1``.
+    """
+    if n_bits < 1:
+        raise CircuitError("adder needs at least 1 bit per operand")
+    if a_value >= 2**n_bits or b_value >= 2**n_bits or min(a_value, b_value) < 0:
+        raise CircuitError("operand value does not fit in n_bits")
+
+    num_qubits = 2 * n_bits + 2
+    circuit = Circuit(num_qubits, name=f"adder_{num_qubits}q")
+
+    def a_qubit(i: int) -> int:
+        return 2 * i + 2
+
+    def b_qubit(i: int) -> int:
+        return 2 * i + 1
+
+    carry_in = 0
+    carry_out = num_qubits - 1
+
+    if with_input_prep:
+        for i in range(n_bits):
+            if (a_value >> i) & 1:
+                circuit.x(a_qubit(i))
+            if (b_value >> i) & 1:
+                circuit.x(b_qubit(i))
+
+    # Forward MAJ ladder.
+    _maj(circuit, carry_in, b_qubit(0), a_qubit(0))
+    for i in range(1, n_bits):
+        _maj(circuit, a_qubit(i - 1), b_qubit(i), a_qubit(i))
+    # Copy the high carry out.
+    circuit.cx(a_qubit(n_bits - 1), carry_out)
+    # Backward UMA ladder.
+    for i in range(n_bits - 1, 0, -1):
+        _uma(circuit, a_qubit(i - 1), b_qubit(i), a_qubit(i))
+    _uma(circuit, carry_in, b_qubit(0), a_qubit(0))
+
+    return circuit
+
+
+def adder_workload(num_qubits: int = 64, **kwargs: int) -> Circuit:
+    """Table II ADDER entry: the widest Cuccaro adder fitting *num_qubits*."""
+    if num_qubits < 4:
+        raise CircuitError("adder workload needs at least 4 qubits")
+    n_bits = (num_qubits - 2) // 2
+    circuit = cuccaro_adder(n_bits, **kwargs)
+    if circuit.num_qubits < num_qubits:
+        # Pad to the requested register width with idle qubits so device
+        # comparisons use identical chain lengths.
+        padded = Circuit(num_qubits, name=f"adder_{num_qubits}q")
+        padded.extend(circuit.gates)
+        return padded
+    return circuit

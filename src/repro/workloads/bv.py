@@ -1,0 +1,66 @@
+"""Bernstein-Vazirani (Table II: BV).
+
+The standard NISQ benchmark: ``n - 1`` data qubits, one ancilla prepared in
+``|->``, one CX per set bit of the hidden string.  Every CX targets the
+ancilla, so with the ancilla placed at the end of the register the circuit
+consists of long-distance two-qubit gates — the paper uses BV as the
+canonical long-distance workload.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import CircuitError
+
+
+def bernstein_vazirani(num_qubits: int, secret: str | int | None = None,
+                       *, measure: bool = False) -> Circuit:
+    """Build a Bernstein-Vazirani circuit on *num_qubits* qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total register width; the last qubit is the oracle ancilla and the
+        first ``num_qubits - 1`` qubits hold the hidden string.
+    secret:
+        Hidden bit string, as a string of '0'/'1' or an integer; defaults to
+        all ones (the densest, hardest-to-route instance).
+    measure:
+        Append measurements on the data qubits.
+    """
+    if num_qubits < 2:
+        raise CircuitError("Bernstein-Vazirani needs at least 2 qubits")
+    num_data = num_qubits - 1
+    if secret is None:
+        bits = [1] * num_data
+    elif isinstance(secret, int):
+        if secret < 0 or secret >= 2**num_data:
+            raise CircuitError("secret does not fit in the data register")
+        bits = [(secret >> i) & 1 for i in range(num_data)]
+    else:
+        if len(secret) != num_data or set(secret) - {"0", "1"}:
+            raise CircuitError(
+                f"secret string must be {num_data} characters of 0/1"
+            )
+        bits = [int(c) for c in secret]
+
+    ancilla = num_qubits - 1
+    circuit = Circuit(num_qubits, name=f"bv_{num_qubits}q")
+    for q in range(num_data):
+        circuit.h(q)
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for q, bit in enumerate(bits):
+        if bit:
+            circuit.cx(q, ancilla)
+    for q in range(num_data):
+        circuit.h(q)
+    if measure:
+        for q in range(num_data):
+            circuit.measure(q)
+    return circuit
+
+
+def bv_workload(num_qubits: int = 64, **kwargs: object) -> Circuit:
+    """Table II BV entry (all-ones secret)."""
+    return bernstein_vazirani(num_qubits, **kwargs)

@@ -1,0 +1,58 @@
+"""Quantum Fourier Transform (Table II: QFT).
+
+The textbook QFT: a Hadamard on each qubit followed by controlled-phase
+rotations against every later qubit.  With ``n`` qubits this gives
+``n (n - 1) / 2`` controlled-phase gates, i.e. ``n (n - 1)`` CX gates after
+decomposition — 4032 for n = 64, matching Table II.  QFT is the paper's
+canonical mixed/long-distance workload.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import CircuitError
+
+
+def qft(num_qubits: int, *, with_final_swaps: bool = False,
+        approximation_degree: int = 0, measure: bool = False) -> Circuit:
+    """Build a QFT circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width.
+    with_final_swaps:
+        Append the qubit-reversal SWAP network (off by default, matching the
+        common benchmark convention and Table II's gate count).
+    approximation_degree:
+        Drop controlled-phase rotations whose angle denominator exceeds
+        ``2 ** (num_qubits - approximation_degree)`` (0 = exact QFT).
+    """
+    if num_qubits < 1:
+        raise CircuitError("QFT needs at least 1 qubit")
+    if approximation_degree < 0:
+        raise CircuitError("approximation_degree cannot be negative")
+    max_separation = num_qubits - approximation_degree
+
+    circuit = Circuit(num_qubits, name=f"qft_{num_qubits}q")
+    for i in range(num_qubits):
+        circuit.h(i)
+        for j in range(i + 1, num_qubits):
+            separation = j - i
+            if separation >= max_separation:
+                continue
+            angle = math.pi / (2**separation)
+            circuit.cp(angle, j, i)
+    if with_final_swaps:
+        for i in range(num_qubits // 2):
+            circuit.swap(i, num_qubits - 1 - i)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def qft_workload(num_qubits: int = 64, **kwargs: object) -> Circuit:
+    """Table II QFT entry (exact, no final swaps)."""
+    return qft(num_qubits, **kwargs)

@@ -1,0 +1,109 @@
+"""Random Circuit Sampling (Table II: RCS).
+
+Google-supremacy-style random circuits on a 2D grid of qubits: every cycle
+applies a random single-qubit gate from {sqrt(X), sqrt(Y), T} to each qubit
+followed by CZ gates along one of four alternating edge patterns of the
+grid.  The grid is embedded row-major onto the linear tape, so all
+interactions span either 1 (horizontal edge) or ``columns`` (vertical edge)
+ion spacings — the "nearest-neighbour" communication class of Table II.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import CircuitError
+
+_SINGLE_QUBIT_CHOICES = ("sx", "sy", "t")
+
+
+def _grid_shape(num_qubits: int) -> tuple[int, int]:
+    """Pick the most square grid (rows x columns) for *num_qubits* qubits."""
+    best = (1, num_qubits)
+    for rows in range(1, int(math.isqrt(num_qubits)) + 1):
+        if num_qubits % rows == 0:
+            best = (rows, num_qubits // rows)
+    return best
+
+
+def grid_edge_patterns(rows: int, columns: int) -> list[list[tuple[int, int]]]:
+    """The four alternating CZ patterns (two horizontal, two vertical)."""
+
+    def index(r: int, c: int) -> int:
+        return r * columns + c
+
+    horizontal_even, horizontal_odd, vertical_even, vertical_odd = [], [], [], []
+    for r in range(rows):
+        for c in range(columns - 1):
+            edge = (index(r, c), index(r, c + 1))
+            (horizontal_even if c % 2 == 0 else horizontal_odd).append(edge)
+    for r in range(rows - 1):
+        for c in range(columns):
+            edge = (index(r, c), index(r + 1, c))
+            (vertical_even if r % 2 == 0 else vertical_odd).append(edge)
+    return [p for p in (horizontal_even, vertical_even, horizontal_odd, vertical_odd) if p]
+
+
+def random_circuit_sampling(
+    num_qubits: int,
+    cycles: int = 20,
+    *,
+    rows: int | None = None,
+    columns: int | None = None,
+    seed: int = 2021,
+    measure: bool = False,
+) -> Circuit:
+    """Build an RCS circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total number of qubits; by default arranged on the most square grid.
+    cycles:
+        Number of (single-qubit layer, CZ pattern) cycles.  The paper's
+        64-qubit instance has 560 two-qubit gates = 20 cycles x 28 edges.
+    rows, columns:
+        Explicit grid shape (must satisfy ``rows * columns == num_qubits``).
+    seed:
+        Seed for the random single-qubit gate choices (deterministic
+        workload generation).
+    """
+    if num_qubits < 2:
+        raise CircuitError("RCS needs at least 2 qubits")
+    if rows is None or columns is None:
+        rows, columns = _grid_shape(num_qubits)
+    if rows * columns != num_qubits:
+        raise CircuitError(
+            f"grid {rows}x{columns} does not match {num_qubits} qubits"
+        )
+    patterns = grid_edge_patterns(rows, columns)
+    rng = random.Random(seed)
+
+    circuit = Circuit(num_qubits, name=f"rcs_{num_qubits}q_c{cycles}")
+    for q in range(num_qubits):
+        circuit.h(q)
+    previous_choice = [""] * num_qubits
+    for cycle in range(cycles):
+        for q in range(num_qubits):
+            choices = [c for c in _SINGLE_QUBIT_CHOICES if c != previous_choice[q]]
+            choice = rng.choice(choices)
+            previous_choice[q] = choice
+            if choice == "sx":
+                circuit.sx(q)
+            elif choice == "sy":
+                circuit.ry(math.pi / 2, q)
+            else:
+                circuit.t(q)
+        for a, b in patterns[cycle % len(patterns)]:
+            circuit.cz(a, b)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def rcs_workload(num_qubits: int = 64, cycles: int = 20,
+                 **kwargs: object) -> Circuit:
+    """Table II RCS entry (8x8 grid, 20 cycles)."""
+    return random_circuit_sampling(num_qubits, cycles, **kwargs)

@@ -1,0 +1,103 @@
+"""Tests for the device specifications (TILT, Ideal TI, QCCD)."""
+
+import pytest
+
+from repro.arch.device import DEFAULT_ION_SPACING_UM
+from repro.arch.ideal import IdealTrappedIonDevice
+from repro.arch.qccd import QccdDevice, qccd_like_paper
+from repro.arch.tilt import TiltDevice, tilt_16, tilt_32
+from repro.exceptions import DeviceError
+
+
+class TestTiltDevice:
+    def test_paper_presets(self):
+        assert tilt_16().head_size == 16
+        assert tilt_32().head_size == 32
+        assert tilt_16().num_qubits == 64
+
+    def test_geometry(self, tilt16):
+        assert tilt16.max_gate_span == 7
+        assert tilt16.num_head_positions == 9
+        assert list(tilt16.head_positions()) == list(range(9))
+
+    def test_window(self, tilt16):
+        assert list(tilt16.window(0)) == list(range(8))
+        assert list(tilt16.window(8)) == list(range(8, 16))
+        with pytest.raises(DeviceError):
+            tilt16.window(9)
+
+    def test_is_executable(self, tilt16):
+        assert tilt16.is_executable(0, 7)
+        assert not tilt16.is_executable(0, 8)
+        with pytest.raises(DeviceError):
+            tilt16.is_executable(0, 99)
+
+    def test_gate_in_window(self, tilt16):
+        assert tilt16.gate_in_window((2, 5), 0)
+        assert not tilt16.gate_in_window((2, 10), 2)
+
+    def test_positions_covering(self, tilt16):
+        # Qubits 3 and 6 fit in windows starting at 0, 1, 2, 3.
+        assert list(tilt16.positions_covering((3, 6))) == [0, 1, 2, 3]
+        # Maximum-span gates have exactly one valid position.
+        assert list(tilt16.positions_covering((8, 15))) == [8]
+        # Unreachable gates have none.
+        assert list(tilt16.positions_covering((0, 8))) == []
+
+    def test_move_distance(self, tilt16):
+        assert tilt16.move_distance_um(0, 4) == 4 * DEFAULT_ION_SPACING_UM
+
+    def test_describe(self, tilt16):
+        assert "16-ion tape" in tilt16.describe()
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            TiltDevice(num_qubits=8, head_size=1)
+        with pytest.raises(DeviceError):
+            TiltDevice(num_qubits=8, head_size=9)
+        with pytest.raises(DeviceError):
+            TiltDevice(num_qubits=0, head_size=4)
+        with pytest.raises(DeviceError):
+            TiltDevice(num_qubits=8, head_size=4, ion_spacing_um=-1)
+
+
+class TestIdealDevice:
+    def test_full_connectivity(self, ideal16):
+        assert ideal16.is_executable(0, 15)
+        assert not ideal16.is_executable(3, 3)
+
+    def test_describe(self, ideal16):
+        assert "fully connected" in ideal16.describe()
+
+
+class TestQccdDevice:
+    def test_derived_trap_count_leaves_slack(self):
+        device = QccdDevice(num_qubits=64, trap_capacity=17)
+        assert device.num_traps == 4
+        layout = device.initial_layout()
+        assert sum(len(chain) for chain in layout) == 64
+        assert all(len(chain) <= device.trap_capacity for chain in layout)
+
+    def test_initial_trap_of_is_contiguous(self, qccd16):
+        traps = [qccd16.initial_trap_of(q) for q in range(16)]
+        assert traps == sorted(traps)
+
+    def test_trap_distance(self, qccd16):
+        assert qccd16.trap_distance(0, 3) == 3
+        with pytest.raises(DeviceError):
+            qccd16.trap_distance(0, 99)
+
+    def test_is_executable_within_initial_trap(self, qccd16):
+        assert qccd16.is_executable(0, 1)
+        assert not qccd16.is_executable(0, 15)
+
+    def test_explicit_trap_count_validation(self):
+        with pytest.raises(DeviceError):
+            QccdDevice(num_qubits=64, trap_capacity=10, num_traps=2)
+        with pytest.raises(DeviceError):
+            QccdDevice(num_qubits=8, trap_capacity=1)
+
+    def test_paper_preset(self):
+        device = qccd_like_paper()
+        assert device.num_qubits == 64
+        assert "QCCD" in device.describe()

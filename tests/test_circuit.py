@@ -1,0 +1,144 @@
+"""Unit tests for the Circuit container."""
+
+import math
+
+import pytest
+
+from repro.circuits.circuit import Circuit, circuit_from_gates
+from repro.circuits.gate import Gate
+from repro.exceptions import CircuitError
+
+
+class TestBuilding:
+    def test_empty_circuit(self):
+        circuit = Circuit(3)
+        assert circuit.num_qubits == 3
+        assert len(circuit) == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(CircuitError):
+            Circuit(0)
+
+    def test_builder_methods_chain(self):
+        circuit = Circuit(2).h(0).cx(0, 1).rz(0.5, 1).measure_all()
+        assert [g.name for g in circuit] == ["h", "cx", "rz", "measure", "measure"]
+
+    def test_append_validates_register(self):
+        circuit = Circuit(2)
+        with pytest.raises(CircuitError):
+            circuit.append(Gate("x", (2,)))
+
+    def test_extend_and_from_gates(self):
+        gates = [Gate("h", (0,)), Gate("cx", (0, 1))]
+        circuit = circuit_from_gates(2, gates)
+        assert circuit.gates == tuple(gates)
+
+    def test_barrier_defaults_to_full_width(self):
+        circuit = Circuit(3).barrier()
+        assert circuit[0].qubits == (0, 1, 2)
+
+    def test_indexing_and_iteration(self):
+        circuit = Circuit(2).h(0).x(1)
+        assert circuit[1].name == "x"
+        assert [g.name for g in circuit] == ["h", "x"]
+
+    def test_equality(self):
+        a = Circuit(2).h(0)
+        b = Circuit(2).h(0)
+        c = Circuit(2).h(1)
+        assert a == b
+        assert a != c
+
+
+class TestStatistics:
+    def test_count_ops(self):
+        circuit = Circuit(3).h(0).h(1).cx(0, 1).cx(1, 2)
+        assert circuit.count_ops() == {"h": 2, "cx": 2}
+
+    def test_two_qubit_counts_include_swaps(self):
+        circuit = Circuit(3).cx(0, 1).swap(1, 2).h(0)
+        assert circuit.num_two_qubit_gates() == 2
+        assert len(circuit.two_qubit_gates()) == 2
+
+    def test_num_gates_excludes_barriers(self):
+        circuit = Circuit(2).h(0).barrier().x(1)
+        assert circuit.num_gates() == 2
+        assert circuit.num_gates(include_structural=True) == 3
+
+    def test_depth_linear_chain(self):
+        circuit = Circuit(1).h(0).x(0).z(0)
+        assert circuit.depth() == 3
+
+    def test_depth_parallel_gates(self):
+        circuit = Circuit(4).h(0).h(1).h(2).h(3)
+        assert circuit.depth() == 1
+
+    def test_depth_two_qubit_only(self):
+        circuit = Circuit(2).h(0).h(1).cx(0, 1).h(0)
+        assert circuit.depth(two_qubit_only=True) == 1
+
+    def test_depth_respects_barrier(self):
+        circuit = Circuit(2).h(0).barrier(0, 1).h(1)
+        assert circuit.depth() == 2
+
+    def test_active_qubits(self):
+        circuit = Circuit(5).h(1).cx(1, 3)
+        assert circuit.active_qubits() == {1, 3}
+
+    def test_interaction_counts_sorted_pairs(self):
+        circuit = Circuit(3).cx(2, 0).cx(0, 2).cx(1, 2)
+        counts = circuit.interaction_counts()
+        assert counts[(0, 2)] == 2
+        assert counts[(1, 2)] == 1
+
+    def test_summary_mentions_name_and_counts(self):
+        circuit = Circuit(2, name="demo").h(0).cx(0, 1)
+        text = circuit.summary()
+        assert "demo" in text and "2 qubits" in text
+
+
+class TestTransformations:
+    def test_copy_is_independent(self):
+        circuit = Circuit(2).h(0)
+        clone = circuit.copy()
+        clone.x(1)
+        assert len(circuit) == 1
+        assert len(clone) == 2
+
+    def test_compose_appends_gates(self):
+        first = Circuit(2).h(0)
+        second = Circuit(2).cx(0, 1)
+        combined = first.compose(second)
+        assert [g.name for g in combined] == ["h", "cx"]
+        assert len(first) == 1
+
+    def test_compose_rejects_wider_circuit(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).compose(Circuit(3))
+
+    def test_inverse_reverses_and_inverts(self):
+        circuit = Circuit(2).h(0).rz(0.3, 1).cx(0, 1)
+        inverse = circuit.inverse()
+        assert [g.name for g in inverse] == ["cx", "rz", "h"]
+        assert inverse[1].params == (-0.3,)
+
+    def test_inverse_rejects_measurement(self):
+        with pytest.raises(CircuitError):
+            Circuit(1).measure(0).inverse()
+
+    def test_remap_relabels_qubits(self):
+        circuit = Circuit(2).cx(0, 1)
+        remapped = circuit.remap([3, 1], num_qubits=4)
+        assert remapped[0].qubits == (3, 1)
+        assert remapped.num_qubits == 4
+
+    def test_without_drops_named_gates(self):
+        circuit = Circuit(2).h(0).barrier().cx(0, 1)
+        cleaned = circuit.without(["barrier"])
+        assert [g.name for g in cleaned] == ["h", "cx"]
+
+    def test_identity_composed_with_inverse_has_zero_rotation(self):
+        circuit = Circuit(1).rz(math.pi / 3, 0)
+        roundtrip = circuit.compose(circuit.inverse())
+        total = sum(g.params[0] for g in roundtrip)
+        assert abs(total) < 1e-12

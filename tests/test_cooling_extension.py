@@ -1,0 +1,67 @@
+"""Tests for the Section VII sympathetic-cooling extension on TILT.
+
+The paper discusses sympathetic cooling as a technique that composes with
+TILT (Section VII): a dual-species chain can be re-cooled during execution,
+bounding the heating that tape moves accumulate.  The reproduction exposes
+it through ``NoiseParameters.tilt_cooling_interval_moves``.
+"""
+
+import pytest
+
+from repro.compiler.pipeline import compile_for_tilt
+from repro.exceptions import SimulationError
+from repro.noise.heating import quanta_after_moves
+from repro.noise.parameters import NoiseParameters
+from repro.sim.tilt_sim import TiltSimulator
+from repro.workloads.qft import qft_workload
+
+
+class TestCoolingModel:
+    def test_disabled_by_default(self):
+        params = NoiseParameters()
+        assert params.tilt_cooling_interval_moves == 0
+        assert quanta_after_moves(10, 64, params) == pytest.approx(
+            10 * params.shuttle_quanta(64)
+        )
+
+    def test_quanta_reset_every_interval(self):
+        params = NoiseParameters(tilt_cooling_interval_moves=4)
+        k = params.shuttle_quanta(64)
+        assert quanta_after_moves(3, 64, params) == pytest.approx(3 * k)
+        assert quanta_after_moves(4, 64, params) == pytest.approx(0.0)
+        assert quanta_after_moves(9, 64, params) == pytest.approx(1 * k)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            NoiseParameters(tilt_cooling_interval_moves=-1)
+        with pytest.raises(SimulationError):
+            NoiseParameters(tilt_cooling_time_us=-5.0)
+
+
+class TestCoolingOnWorkloads:
+    def test_cooling_improves_success_on_deep_circuits(self, tilt16):
+        compiled = compile_for_tilt(qft_workload(16), tilt16)
+        base = TiltSimulator(tilt16, NoiseParameters()).run(compiled)
+        cooled = TiltSimulator(
+            tilt16, NoiseParameters(tilt_cooling_interval_moves=2)
+        ).run(compiled)
+        assert cooled.log10_success_rate > base.log10_success_rate
+
+    def test_cooling_costs_execution_time(self, tilt16):
+        compiled = compile_for_tilt(qft_workload(16), tilt16)
+        base = TiltSimulator(tilt16, NoiseParameters()).run(compiled)
+        cooled = TiltSimulator(
+            tilt16,
+            NoiseParameters(tilt_cooling_interval_moves=2,
+                            tilt_cooling_time_us=1000.0),
+        ).run(compiled)
+        assert cooled.execution_time_us > base.execution_time_us
+
+    def test_frequent_cooling_beats_rare_cooling(self, tilt16):
+        compiled = compile_for_tilt(qft_workload(16), tilt16)
+
+        def success(interval: int) -> float:
+            params = NoiseParameters(tilt_cooling_interval_moves=interval)
+            return TiltSimulator(tilt16, params).run(compiled).log10_success_rate
+
+        assert success(1) >= success(8) >= success(0)

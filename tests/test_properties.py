@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.tilt import TiltDevice
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import FrontierTracker
+from repro.circuits.random import random_circuit
+from repro.compiler.decompose import decompose_to_native, merge_adjacent_rotations
+from repro.compiler.layout import QubitMapping
+from repro.compiler.routing import check_routed
+from repro.compiler.schedule import schedule_tape_moves
+from repro.compiler.swap_linq import LinqSwapInserter
+from repro.noise.fidelity import SuccessRateAccumulator, two_qubit_fidelity
+from repro.noise.parameters import NoiseParameters
+
+SLOW = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------------------
+# Circuit-level invariants
+# ----------------------------------------------------------------------
+@given(seed=st.integers(0, 10_000), num_gates=st.integers(1, 60))
+@SLOW
+def test_random_circuit_depth_bounds(seed, num_gates):
+    circuit = random_circuit(6, num_gates, seed=seed)
+    depth = circuit.depth()
+    assert 1 <= depth <= num_gates
+    assert circuit.num_gates() == num_gates
+
+
+@given(seed=st.integers(0, 10_000))
+@SLOW
+def test_inverse_of_inverse_is_identity(seed):
+    circuit = random_circuit(5, 25, seed=seed)
+    assert circuit.inverse().inverse() == circuit
+
+
+@given(seed=st.integers(0, 10_000))
+@SLOW
+def test_qasm_roundtrip_preserves_structure(seed):
+    from repro.circuits.qasm import circuit_to_qasm, qasm_to_circuit
+
+    circuit = random_circuit(5, 30, seed=seed)
+    parsed = qasm_to_circuit(circuit_to_qasm(circuit))
+    assert len(parsed) == len(circuit)
+    assert [g.qubits for g in parsed] == [g.qubits for g in circuit]
+
+
+@given(seed=st.integers(0, 10_000))
+@SLOW
+def test_frontier_tracker_full_drain(seed):
+    circuit = random_circuit(6, 40, seed=seed)
+    tracker = FrontierTracker(circuit)
+    executed = []
+    while not tracker.is_done():
+        index = min(tracker.ready())
+        executed.append(index)
+        tracker.complete(index)
+    assert sorted(executed) == list(range(len(circuit)))
+
+
+# ----------------------------------------------------------------------
+# Decomposition invariants
+# ----------------------------------------------------------------------
+@given(seed=st.integers(0, 10_000))
+@SLOW
+def test_native_decomposition_is_native_and_counts_grow(seed):
+    circuit = random_circuit(6, 30, seed=seed)
+    native = decompose_to_native(circuit)
+    assert all(g.is_native for g in native)
+    assert native.num_two_qubit_gates() >= sum(
+        1 for g in circuit if g.is_two_qubit and g.name != "swap"
+    )
+
+
+@given(seed=st.integers(0, 10_000))
+@SLOW
+def test_rotation_merging_never_grows_the_circuit(seed):
+    native = decompose_to_native(random_circuit(5, 30, seed=seed))
+    merged = merge_adjacent_rotations(native)
+    assert len(merged) <= len(native)
+    # Two-qubit structure untouched.
+    assert merged.num_two_qubit_gates() == native.num_two_qubit_gates()
+
+
+# ----------------------------------------------------------------------
+# Mapping invariants
+# ----------------------------------------------------------------------
+@given(permutation=st.permutations(list(range(8))),
+       swaps=st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)),
+                      max_size=12))
+@SLOW
+def test_mapping_stays_a_bijection_under_swaps(permutation, swaps):
+    mapping = QubitMapping(list(permutation))
+    for a, b in swaps:
+        mapping.swap_physical(a, b)
+    layout = mapping.logical_to_physical()
+    assert sorted(layout) == list(range(8))
+    for logical, physical in enumerate(layout):
+        assert mapping.logical(physical) == logical
+
+
+# ----------------------------------------------------------------------
+# Routing + scheduling invariants
+# ----------------------------------------------------------------------
+@given(seed=st.integers(0, 10_000), head=st.integers(3, 8))
+@SLOW
+def test_routing_and_scheduling_invariants(seed, head):
+    device = TiltDevice(num_qubits=12, head_size=head)
+    circuit = decompose_to_native(
+        random_circuit(12, 25, seed=seed, two_qubit_fraction=0.5)
+    )
+    routed = LinqSwapInserter(device).route(circuit)
+    # Every two-qubit gate fits under the head.
+    check_routed(routed.circuit, device)
+    # Non-swap gate multiset is preserved by routing.
+    original = [g.name for g in circuit if g.is_two_qubit]
+    kept = [g.name for g in routed.circuit if g.is_two_qubit and g.name != "swap"]
+    assert sorted(original) == sorted(kept)
+    # The schedule covers every routed gate exactly once and validates.
+    program = schedule_tape_moves(routed.circuit, device)
+    program.validate()
+    assert program.num_scheduled_gates == len(routed.circuit)
+    assert program.num_moves <= len(routed.circuit)
+
+
+# ----------------------------------------------------------------------
+# Noise-model invariants
+# ----------------------------------------------------------------------
+@given(time_us=st.floats(0, 5_000), quanta=st.floats(0, 2_000))
+@SLOW
+def test_fidelity_always_in_unit_interval(time_us, quanta):
+    fidelity = two_qubit_fidelity(time_us, quanta, NoiseParameters())
+    assert 0.0 <= fidelity <= 1.0
+
+
+@given(fidelities=st.lists(st.floats(0.5, 1.0), min_size=1, max_size=200))
+@SLOW
+def test_accumulator_matches_direct_product(fidelities):
+    accumulator = SuccessRateAccumulator()
+    product = 1.0
+    for fidelity in fidelities:
+        accumulator.add(fidelity)
+        product *= fidelity
+    assert math.isclose(accumulator.success_rate, product, rel_tol=1e-9)
+    assert accumulator.worst_gate_fidelity == min(fidelities)
+
+
+@given(moves=st.integers(0, 500), chain=st.integers(1, 256))
+@SLOW
+def test_heating_monotone_in_moves_and_chain_length(moves, chain):
+    from repro.noise.heating import quanta_after_moves
+
+    params = NoiseParameters()
+    assert quanta_after_moves(moves + 1, chain, params) >= quanta_after_moves(
+        moves, chain, params
+    )
+    assert quanta_after_moves(moves, chain + 1, params) >= quanta_after_moves(
+        moves, chain, params
+    )

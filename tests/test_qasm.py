@@ -1,0 +1,86 @@
+"""Tests for OpenQASM 2.0 export / import."""
+
+import math
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.qasm import circuit_to_qasm, qasm_to_circuit
+from repro.circuits.random import random_circuit
+from repro.exceptions import QasmError
+
+
+class TestExport:
+    def test_header_and_register(self):
+        text = Circuit(3).h(0).to_qasm()
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[3];" in text
+
+    def test_creg_only_with_measurement(self):
+        assert "creg" not in Circuit(2).h(0).to_qasm()
+        assert "creg c[2];" in Circuit(2).measure(0).to_qasm()
+
+    def test_angle_rendering_uses_pi(self):
+        text = Circuit(1).rz(math.pi / 2, 0).to_qasm()
+        assert "rz(pi/2)" in text
+
+    def test_negative_pi(self):
+        text = Circuit(1).rx(-math.pi, 0).to_qasm()
+        assert "rx(-pi)" in text
+
+    def test_xx_emitted_as_rxx(self):
+        text = Circuit(2).xx(math.pi / 4, 0, 1).to_qasm()
+        assert "rxx(pi/4)" in text
+
+    def test_barrier_and_measure_lines(self):
+        text = Circuit(2).barrier(0, 1).measure(1).to_qasm()
+        assert "barrier q[0],q[1];" in text
+        assert "measure q[1] -> c[1];" in text
+
+
+class TestImport:
+    def test_roundtrip_simple(self):
+        original = Circuit(3).h(0).cx(0, 1).rz(0.25, 2).measure(2)
+        parsed = qasm_to_circuit(circuit_to_qasm(original))
+        assert parsed.num_qubits == 3
+        assert [g.name for g in parsed] == [g.name for g in original]
+
+    def test_roundtrip_preserves_angles(self):
+        original = Circuit(2).cp(math.pi / 8, 0, 1).rzz(1.234, 0, 1)
+        parsed = qasm_to_circuit(circuit_to_qasm(original))
+        for got, want in zip(parsed, original):
+            assert got.qubits == want.qubits
+            assert got.params == pytest.approx(want.params)
+
+    def test_roundtrip_random_circuits(self):
+        for seed in range(5):
+            original = random_circuit(5, 30, seed=seed)
+            parsed = qasm_to_circuit(circuit_to_qasm(original))
+            assert len(parsed) == len(original)
+            for got, want in zip(parsed, original):
+                assert got.name in (want.name, "rxx")
+                assert got.qubits == want.qubits
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        // a comment
+        qreg q[2];
+
+        h q[0]; cx q[0],q[1];
+        """
+        parsed = qasm_to_circuit(text)
+        assert [g.name for g in parsed] == ["h", "cx"]
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(QasmError):
+            qasm_to_circuit("OPENQASM 2.0;\nh q[0];")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QasmError):
+            qasm_to_circuit("qreg q[1];\nfrobnicate q[0];")
+
+    def test_malicious_angle_rejected(self):
+        with pytest.raises(QasmError):
+            qasm_to_circuit("qreg q[1];\nrz(__import__) q[0];")

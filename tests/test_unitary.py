@@ -1,0 +1,103 @@
+"""Tests for gate matrices and circuit unitaries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import GATE_SPECS, Gate
+from repro.circuits.unitary import (
+    allclose_up_to_global_phase,
+    circuit_unitary,
+    gate_matrix,
+)
+from repro.exceptions import SimulationError
+
+
+def _unitary_gates():
+    for name, (num_qubits, num_params) in GATE_SPECS.items():
+        if name in ("measure", "barrier"):
+            continue
+        params = tuple(0.3 + 0.1 * i for i in range(num_params))
+        yield Gate(name, tuple(range(num_qubits)), params)
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize("gate", list(_unitary_gates()),
+                             ids=lambda g: g.name)
+    def test_matrices_are_unitary(self, gate):
+        matrix = gate_matrix(gate)
+        dim = 2**gate.num_qubits
+        assert matrix.shape == (dim, dim)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-10)
+
+    def test_measure_has_no_matrix(self):
+        with pytest.raises(SimulationError):
+            gate_matrix(Gate("measure", (0,)))
+
+    def test_rz_diag_phases(self):
+        matrix = gate_matrix(Gate("rz", (0,), (math.pi,)))
+        assert np.allclose(np.abs(np.diag(matrix)), 1.0)
+
+    def test_xx_quarter_pi_is_maximally_entangling(self):
+        matrix = gate_matrix(Gate("xx", (0, 1), (math.pi / 4,)))
+        # exp(i pi/4 XX) = (I + i XX)/sqrt(2): off-diagonal magnitude 1/sqrt(2).
+        assert np.isclose(abs(matrix[0, 3]), 1 / math.sqrt(2))
+        assert np.isclose(abs(matrix[0, 0]), 1 / math.sqrt(2))
+
+    def test_cx_flips_target_when_control_set(self):
+        matrix = gate_matrix(Gate("cx", (0, 1)))
+        state = np.zeros(4)
+        state[2] = 1.0  # |10>: control (qubit 0) set
+        assert np.allclose(matrix @ state, np.eye(4)[3])
+
+    def test_gate_and_inverse_compose_to_identity(self):
+        for gate in _unitary_gates():
+            product = gate_matrix(gate.inverse()) @ gate_matrix(gate)
+            dim = 2**gate.num_qubits
+            assert allclose_up_to_global_phase(product, np.eye(dim)), gate.name
+
+
+class TestCircuitUnitary:
+    def test_identity_for_empty_circuit(self):
+        assert np.allclose(circuit_unitary(Circuit(2)), np.eye(4))
+
+    def test_bell_circuit_unitary(self, bell_circuit):
+        unitary = circuit_unitary(bell_circuit)
+        state = unitary[:, 0]
+        assert np.allclose(np.abs(state) ** 2, [0.5, 0, 0, 0.5])
+
+    def test_barriers_ignored(self):
+        circuit = Circuit(2).h(0).barrier().h(0)
+        assert allclose_up_to_global_phase(circuit_unitary(circuit), np.eye(4))
+
+    def test_measurement_rejected(self):
+        with pytest.raises(SimulationError):
+            circuit_unitary(Circuit(1).measure(0))
+
+    def test_width_cap(self):
+        with pytest.raises(SimulationError):
+            circuit_unitary(Circuit(13))
+
+    def test_qubit_ordering_of_expansion(self):
+        # x on qubit 1 of a 2-qubit register flips the least significant bit.
+        circuit = Circuit(2).x(1)
+        unitary = circuit_unitary(circuit)
+        state = unitary @ np.eye(4)[0]
+        assert np.allclose(np.abs(state), np.eye(4)[1])
+
+
+class TestGlobalPhaseComparison:
+    def test_equal_up_to_phase(self):
+        a = gate_matrix(Gate("z", (0,)))
+        b = np.exp(1j * 0.7) * a
+        assert allclose_up_to_global_phase(a, b)
+
+    def test_different_matrices_detected(self):
+        a = gate_matrix(Gate("z", (0,)))
+        b = gate_matrix(Gate("x", (0,)))
+        assert not allclose_up_to_global_phase(a, b)
+
+    def test_shape_mismatch(self):
+        assert not allclose_up_to_global_phase(np.eye(2), np.eye(4))

@@ -1,0 +1,69 @@
+"""Tests for the Cuccaro adder workload."""
+
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.sim.statevector import StatevectorSimulator
+from repro.workloads.adder import adder_workload, cuccaro_adder
+
+
+def read_sum(n_bits: int, a: int, b: int) -> int:
+    """Run the adder on classical inputs and decode b + carry-out."""
+    circuit = cuccaro_adder(n_bits, a_value=a, b_value=b)
+    outcome = StatevectorSimulator().most_probable(circuit)
+    # Qubit 0 is the leftmost character; b_i lives at qubit 2i+1 and the
+    # outgoing carry at the last qubit.
+    bits = outcome
+    total = 0
+    for i in range(n_bits):
+        if bits[2 * i + 1] == "1":
+            total |= 1 << i
+    if bits[2 * n_bits + 1] == "1":
+        total |= 1 << n_bits
+    return total
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 0), (0, 1), (1, 1), (2, 3),
+                                     (3, 3), (5, 6), (7, 7)])
+    def test_three_bit_sums(self, a, b):
+        assert read_sum(3, a, b) == a + b
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 2), (3, 1)])
+    def test_two_bit_sums(self, a, b):
+        assert read_sum(2, a, b) == a + b
+
+    def test_a_register_restored(self):
+        # The Cuccaro adder leaves register a unchanged.
+        circuit = cuccaro_adder(3, a_value=5, b_value=2)
+        outcome = StatevectorSimulator().most_probable(circuit)
+        a_bits = sum(1 << i for i in range(3) if outcome[2 * i + 2] == "1")
+        assert a_bits == 5
+
+
+class TestStructure:
+    def test_qubit_count(self):
+        assert cuccaro_adder(31).num_qubits == 64
+        assert adder_workload(64).num_qubits == 64
+
+    def test_gate_mix(self):
+        ops = cuccaro_adder(4, with_input_prep=False).count_ops()
+        assert set(ops) <= {"cx", "ccx"}
+        assert ops["ccx"] == 2 * 4
+
+    def test_short_distance_structure(self):
+        # With the interleaved layout every interaction spans at most 3 ions.
+        circuit = cuccaro_adder(8, with_input_prep=False)
+        assert max(g.span for g in circuit if g.num_qubits > 1) <= 3
+
+    def test_workload_padding(self):
+        circuit = adder_workload(65)
+        assert circuit.num_qubits == 65
+
+    def test_invalid_arguments(self):
+        with pytest.raises(CircuitError):
+            cuccaro_adder(0)
+        with pytest.raises(CircuitError):
+            cuccaro_adder(2, a_value=4)
+        with pytest.raises(CircuitError):
+            adder_workload(3)

@@ -1,0 +1,57 @@
+"""Tests for the Bernstein-Vazirani workload."""
+
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.sim.statevector import StatevectorSimulator
+from repro.workloads.bv import bernstein_vazirani, bv_workload
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("secret", ["101", "000", "111", "010"])
+    def test_recovers_secret_string(self, secret):
+        circuit = bernstein_vazirani(len(secret) + 1, secret)
+        outcome = StatevectorSimulator().most_probable(circuit)
+        assert outcome[: len(secret)] == secret
+
+    @pytest.mark.parametrize("secret_int", [0, 1, 5, 7])
+    def test_integer_secret(self, secret_int):
+        circuit = bernstein_vazirani(4, secret_int)
+        outcome = StatevectorSimulator().most_probable(circuit)
+        recovered = int(outcome[:3][::-1], 2)
+        assert recovered == secret_int
+
+    def test_data_register_outcome_is_deterministic(self):
+        # The ancilla stays in |->, so exactly two basis states (differing
+        # only in the ancilla bit) share all the probability.
+        probabilities = sorted(
+            StatevectorSimulator().probabilities(bernstein_vazirani(5, "1011")),
+            reverse=True,
+        )
+        assert probabilities[0] + probabilities[1] == pytest.approx(1.0)
+        assert probabilities[2] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestStructure:
+    def test_default_secret_is_all_ones(self):
+        circuit = bv_workload(64)
+        assert circuit.count_ops()["cx"] == 63
+
+    def test_every_cx_targets_the_ancilla(self):
+        circuit = bv_workload(16)
+        ancilla = 15
+        assert all(g.qubits[1] == ancilla for g in circuit if g.name == "cx")
+
+    def test_measure_flag(self):
+        circuit = bernstein_vazirani(4, "111", measure=True)
+        assert circuit.count_ops()["measure"] == 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(CircuitError):
+            bernstein_vazirani(1)
+        with pytest.raises(CircuitError):
+            bernstein_vazirani(4, "11")  # wrong length
+        with pytest.raises(CircuitError):
+            bernstein_vazirani(4, 8)  # does not fit
+        with pytest.raises(CircuitError):
+            bernstein_vazirani(4, "1x1")

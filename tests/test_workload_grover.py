@@ -1,0 +1,72 @@
+"""Tests for the Grover square-root (SQRT) workload."""
+
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.sim.statevector import StatevectorSimulator
+from repro.workloads.grover import grover_sqrt, sqrt_workload
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("marked", [0, 3, 5, 7])
+    def test_marked_state_is_amplified(self, marked):
+        # 3 search bits -> 4 qubits total; one Grover iteration takes the
+        # marked state's probability from 1/8 to ~0.78.
+        circuit = grover_sqrt(search_bits=3, iterations=1, marked_state=marked)
+        simulator = StatevectorSimulator()
+        probabilities = simulator.probabilities(circuit)
+        search_bits = 3
+        marked_probability = 0.0
+        n = circuit.num_qubits
+        for basis_state, probability in enumerate(probabilities):
+            bits = format(basis_state, f"0{n}b")
+            value = sum(1 << q for q in range(search_bits) if bits[q] == "1")
+            if value == marked:
+                marked_probability += probability
+        assert marked_probability > 0.6
+
+    def test_two_iterations_amplify_further_on_4_bits(self):
+        def marked_probability(iterations: int) -> float:
+            circuit = grover_sqrt(4, iterations, marked_state=9)
+            probabilities = StatevectorSimulator().probabilities(circuit)
+            n = circuit.num_qubits
+            total = 0.0
+            for basis_state, probability in enumerate(probabilities):
+                bits = format(basis_state, f"0{n}b")
+                value = sum(1 << q for q in range(4) if bits[q] == "1")
+                if value == 9:
+                    total += probability
+            return total
+
+        assert marked_probability(2) > marked_probability(1) > 1 / 16
+
+
+class TestStructure:
+    def test_paper_size(self):
+        circuit = sqrt_workload(78)
+        assert circuit.num_qubits == 78
+
+    def test_two_qubit_count_magnitude(self):
+        from repro.compiler.decompose import decompose_to_cx
+
+        count = decompose_to_cx(sqrt_workload(78)).num_two_qubit_gates()
+        # Table II reports 1028; the reconstruction lands in the same range.
+        assert 700 <= count <= 1300
+
+    def test_ancilla_count(self):
+        circuit = grover_sqrt(search_bits=10)
+        assert circuit.num_qubits == 2 * 10 - 2
+
+    def test_measure_flag(self):
+        circuit = grover_sqrt(3, measure=True)
+        assert circuit.count_ops()["measure"] == 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(CircuitError):
+            grover_sqrt(2)
+        with pytest.raises(CircuitError):
+            grover_sqrt(4, iterations=0)
+        with pytest.raises(CircuitError):
+            grover_sqrt(3, marked_state=8)
+        with pytest.raises(CircuitError):
+            sqrt_workload(3)

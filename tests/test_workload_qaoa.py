@@ -1,0 +1,94 @@
+"""Tests for the QAOA MaxCut workload."""
+
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.sim.statevector import StatevectorSimulator
+from repro.workloads.qaoa import (
+    line_graph_edges,
+    qaoa_maxcut,
+    qaoa_workload,
+    random_regular_edges,
+    ring_graph_edges,
+)
+
+
+class TestGraphs:
+    def test_line_graph(self):
+        assert line_graph_edges(4) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_ring_graph(self):
+        edges = ring_graph_edges(4)
+        assert (0, 3) in edges and len(edges) == 4
+
+    def test_random_regular_degree_bound(self):
+        edges = random_regular_edges(12, degree=3, seed=3)
+        degree = [0] * 12
+        for a, b in edges:
+            degree[a] += 1
+            degree[b] += 1
+        assert max(degree) <= 3
+
+    def test_random_regular_deterministic(self):
+        assert random_regular_edges(10, seed=5) == random_regular_edges(10, seed=5)
+
+
+class TestStructure:
+    def test_gate_counts_per_round(self):
+        circuit = qaoa_maxcut(8, rounds=3)
+        ops = circuit.count_ops()
+        assert ops["rzz"] == 3 * 7
+        assert ops["rx"] == 3 * 8
+        assert ops["h"] == 8
+
+    def test_table2_count(self):
+        from repro.compiler.decompose import decompose_to_cx
+
+        assert decompose_to_cx(qaoa_workload(64)).num_two_qubit_gates() == 1260
+
+    def test_nearest_neighbour_spans(self):
+        circuit = qaoa_workload(16, rounds=2)
+        assert max(g.span for g in circuit if g.is_two_qubit) == 1
+
+    def test_custom_edges_and_angles(self):
+        circuit = qaoa_maxcut(4, rounds=2, edges=[(0, 3)],
+                              gammas=[0.1, 0.2], betas=[0.3, 0.4])
+        rzz = [g for g in circuit if g.name == "rzz"]
+        assert len(rzz) == 2
+        assert rzz[0].params[0] == pytest.approx(-0.2)
+
+    def test_measure_flag(self):
+        assert qaoa_maxcut(3, 1, measure=True).count_ops()["measure"] == 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(CircuitError):
+            qaoa_maxcut(1, 1)
+        with pytest.raises(CircuitError):
+            qaoa_maxcut(4, 0)
+        with pytest.raises(CircuitError):
+            qaoa_maxcut(4, 1, edges=[(0, 9)])
+        with pytest.raises(CircuitError):
+            qaoa_maxcut(4, 2, gammas=[0.1], betas=[0.1, 0.2])
+
+
+class TestSemantics:
+    def test_some_angle_biases_toward_cut_states(self):
+        # On a 2-vertex graph the optimal cut separates the two vertices; for
+        # well chosen angles one QAOA round must beat the uniform baseline
+        # probability of 0.5 for |01> + |10>.
+        simulator = StatevectorSimulator()
+        best = 0.0
+        for step in range(1, 8):
+            gamma = 0.1 * step
+            for beta_step in range(1, 8):
+                beta = 0.1 * beta_step
+                circuit = qaoa_maxcut(2, rounds=1, gammas=[gamma], betas=[beta])
+                probabilities = simulator.probabilities(circuit)
+                best = max(best, float(probabilities[1] + probabilities[2]))
+        assert best > 0.8
+
+    def test_angles_change_the_output_distribution(self):
+        simulator = StatevectorSimulator()
+        a = simulator.probabilities(qaoa_maxcut(3, 1, gammas=[0.2], betas=[0.3]))
+        b = simulator.probabilities(qaoa_maxcut(3, 1, gammas=[0.9], betas=[0.3]))
+        assert abs(a - b).max() > 1e-3

@@ -1,0 +1,65 @@
+"""Tests for the QFT workload."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.unitary import allclose_up_to_global_phase, circuit_unitary
+from repro.exceptions import CircuitError
+from repro.workloads.qft import qft, qft_workload
+
+
+def dft_matrix(n_qubits: int) -> np.ndarray:
+    """The exact discrete-Fourier-transform unitary on n qubits."""
+    dim = 2**n_qubits
+    omega = np.exp(2j * math.pi / dim)
+    return np.array(
+        [[omega ** (row * col) for col in range(dim)] for row in range(dim)]
+    ) / math.sqrt(dim)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_matches_dft_with_swaps(self, n):
+        circuit = qft(n, with_final_swaps=True)
+        assert allclose_up_to_global_phase(circuit_unitary(circuit), dft_matrix(n))
+
+    def test_without_swaps_is_bit_reversed_dft(self):
+        n = 3
+        unitary = circuit_unitary(qft(n))
+        reversal = np.zeros((8, 8))
+        for i in range(8):
+            reversed_bits = int(format(i, "03b")[::-1], 2)
+            reversal[reversed_bits, i] = 1.0
+        assert allclose_up_to_global_phase(reversal @ unitary, dft_matrix(n))
+
+
+class TestStructure:
+    def test_two_qubit_gate_count(self):
+        n = 64
+        circuit = qft_workload(n)
+        assert circuit.count_ops()["cp"] == n * (n - 1) // 2
+
+    def test_cx_level_count_matches_table2(self):
+        from repro.compiler.decompose import decompose_to_cx
+
+        assert decompose_to_cx(qft_workload(64)).num_two_qubit_gates() == 4032
+
+    def test_approximation_drops_small_rotations(self):
+        exact = qft(8)
+        approximate = qft(8, approximation_degree=4)
+        assert len(approximate) < len(exact)
+
+    def test_final_swaps_count(self):
+        circuit = qft(6, with_final_swaps=True)
+        assert circuit.count_ops()["swap"] == 3
+
+    def test_measure_flag(self):
+        assert qft(3, measure=True).count_ops()["measure"] == 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(CircuitError):
+            qft(0)
+        with pytest.raises(CircuitError):
+            qft(3, approximation_degree=-1)

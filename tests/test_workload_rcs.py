@@ -1,0 +1,79 @@
+"""Tests for the Random Circuit Sampling workload."""
+
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.workloads.rcs import (
+    grid_edge_patterns,
+    random_circuit_sampling,
+    rcs_workload,
+)
+
+
+class TestGridPatterns:
+    def test_pattern_edges_cover_grid(self):
+        patterns = grid_edge_patterns(4, 4)
+        all_edges = {edge for pattern in patterns for edge in pattern}
+        # A 4x4 grid has 2 * 4 * 3 = 24 edges.
+        assert len(all_edges) == 24
+
+    def test_patterns_are_disjoint_within_themselves(self):
+        for pattern in grid_edge_patterns(4, 4):
+            touched = [q for edge in pattern for q in edge]
+            assert len(touched) == len(set(touched))
+
+    def test_single_row_grid(self):
+        patterns = grid_edge_patterns(1, 5)
+        assert all(all(abs(a - b) == 1 for a, b in p) for p in patterns)
+
+
+class TestStructure:
+    def test_table2_count(self):
+        circuit = rcs_workload(64)
+        assert circuit.num_two_qubit_gates() == 560
+
+    def test_qubit_count_and_name(self):
+        circuit = rcs_workload(64)
+        assert circuit.num_qubits == 64
+        assert "rcs" in circuit.name
+
+    def test_deterministic_for_fixed_seed(self):
+        a = random_circuit_sampling(16, cycles=4, seed=9)
+        b = random_circuit_sampling(16, cycles=4, seed=9)
+        assert a.gates == b.gates
+
+    def test_different_seeds_differ(self):
+        a = random_circuit_sampling(16, cycles=4, seed=1)
+        b = random_circuit_sampling(16, cycles=4, seed=2)
+        assert a.gates != b.gates
+
+    def test_explicit_grid_shape(self):
+        circuit = random_circuit_sampling(12, cycles=2, rows=3, columns=4)
+        assert circuit.num_qubits == 12
+
+    def test_spans_limited_to_grid_neighbours(self):
+        circuit = random_circuit_sampling(16, cycles=8, rows=4, columns=4)
+        spans = {g.span for g in circuit if g.is_two_qubit}
+        assert spans <= {1, 4}
+
+    def test_no_repeated_single_qubit_gate_on_same_qubit(self):
+        # Google's RCS rule: the single-qubit gate on a qubit differs from the
+        # one applied in the previous cycle.
+        circuit = random_circuit_sampling(9, cycles=6, rows=3, columns=3, seed=3)
+        last: dict[int, str] = {}
+        for gate in circuit:
+            if gate.num_qubits == 1 and gate.name != "h":
+                qubit = gate.qubits[0]
+                key = gate.name + (f"{gate.params}" if gate.params else "")
+                assert last.get(qubit) != key
+                last[qubit] = key
+
+    def test_measure_flag(self):
+        circuit = random_circuit_sampling(4, cycles=1, measure=True)
+        assert circuit.count_ops()["measure"] == 4
+
+    def test_invalid_arguments(self):
+        with pytest.raises(CircuitError):
+            random_circuit_sampling(1)
+        with pytest.raises(CircuitError):
+            random_circuit_sampling(12, rows=3, columns=3)

@@ -1,0 +1,72 @@
+"""Tests for the Table II benchmark suite registry."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.workloads.suite import (
+    benchmark,
+    build_workload,
+    routing_suite,
+    standard_suite,
+    suite_qubits,
+    table2_rows,
+)
+
+
+class TestRegistry:
+    def test_six_benchmarks(self):
+        names = [spec.name for spec in standard_suite()]
+        assert names == ["ADDER", "BV", "QAOA", "RCS", "QFT", "SQRT"]
+
+    def test_lookup_case_insensitive(self):
+        assert benchmark("qft").name == "QFT"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ReproError):
+            benchmark("shor")
+
+    def test_routing_suite_is_the_long_distance_subset(self):
+        assert [spec.name for spec in routing_suite()] == ["BV", "QFT", "SQRT"]
+
+    def test_paper_widths(self):
+        widths = {spec.name: spec.paper_qubits for spec in standard_suite()}
+        assert widths == {"ADDER": 64, "BV": 64, "QAOA": 64, "RCS": 64,
+                          "QFT": 64, "SQRT": 78}
+
+    def test_suite_qubits_scales(self):
+        assert suite_qubits("QFT", "paper") == 64
+        assert suite_qubits("QFT", "small") == 16
+        with pytest.raises(ReproError):
+            suite_qubits("QFT", "huge")
+
+
+class TestBuilding:
+    def test_build_small_scale(self):
+        circuit = build_workload("BV", "small")
+        assert circuit.num_qubits == 16
+        assert circuit.name == "bv"
+
+    def test_build_default_is_paper_size(self):
+        assert benchmark("ADDER").build().num_qubits == 64
+
+    def test_two_qubit_gate_count_helper(self):
+        assert benchmark("QFT").two_qubit_gate_count(8) == 8 * 7
+
+    def test_table2_rows_small(self):
+        rows = table2_rows("small")
+        assert len(rows) == 6
+        for row in rows:
+            assert row["two_qubit_gates"] > 0
+            assert row["qubits"] <= 20
+
+    def test_table2_rows_paper_match_reported_counts(self):
+        rows = {row["application"]: row for row in table2_rows("paper")}
+        # Exact matches where the construction is unambiguous.
+        assert rows["QFT"]["two_qubit_gates"] == 4032
+        assert rows["RCS"]["two_qubit_gates"] == 560
+        assert rows["QAOA"]["two_qubit_gates"] == 1260
+        # Within 15% for the benchmarks whose source is not public gate-level.
+        for name in ("ADDER", "BV", "SQRT"):
+            measured = rows[name]["two_qubit_gates"]
+            reported = rows[name]["paper_two_qubit_gates"]
+            assert abs(measured - reported) / reported < 0.15
