@@ -13,19 +13,26 @@ import pytest
 
 from repro.analysis import experiments
 from repro.compiler.pipeline import LinQCompiler
+from repro.exec import JobSpec, execute_spec
 from repro.workloads.suite import build_workload
 
 ABLATION_WORKLOAD = "QFT"
 
 
+def _compile_job(scale: str, **overrides) -> JobSpec:
+    """A compile-only engine job for QFT with config overrides applied."""
+    circuit = build_workload(ABLATION_WORKLOAD, scale)
+    device = experiments.device_for(scale, ABLATION_WORKLOAD)
+    config = experiments.ROUTING_STUDY_CONFIG.with_overrides(**overrides)
+    return JobSpec(circuit=circuit, device=device, config=config,
+                   simulate=False)
+
+
 @pytest.mark.parametrize("mapper", ["trivial", "spectral", "greedy"])
 def test_mapper_ablation(benchmark, mapper, scale):
     """Compile QFT with each initial-mapping heuristic."""
-    circuit = build_workload(ABLATION_WORKLOAD, scale)
-    device = experiments.device_for(scale, ABLATION_WORKLOAD)
-    config = experiments.ROUTING_STUDY_CONFIG.with_overrides(mapper=mapper)
-    compiler = LinQCompiler(device, config)
-    result = benchmark.pedantic(compiler.compile, args=(circuit,),
+    spec = _compile_job(scale, mapper=mapper)
+    result = benchmark.pedantic(execute_spec, args=(spec,),
                                 iterations=1, rounds=1)
     benchmark.extra_info["num_swaps"] = result.stats.num_swaps
     benchmark.extra_info["num_moves"] = result.stats.num_moves
@@ -34,13 +41,8 @@ def test_mapper_ablation(benchmark, mapper, scale):
 @pytest.mark.parametrize("lookahead", [1, 20, 200])
 def test_lookahead_ablation(benchmark, lookahead, scale):
     """Compile QFT with increasingly deep Eq. 1 lookahead windows."""
-    circuit = build_workload(ABLATION_WORKLOAD, scale)
-    device = experiments.device_for(scale, ABLATION_WORKLOAD)
-    config = experiments.ROUTING_STUDY_CONFIG.with_overrides(
-        lookahead_window=lookahead
-    )
-    compiler = LinQCompiler(device, config)
-    result = benchmark.pedantic(compiler.compile, args=(circuit,),
+    spec = _compile_job(scale, lookahead_window=lookahead)
+    result = benchmark.pedantic(execute_spec, args=(spec,),
                                 iterations=1, rounds=1)
     benchmark.extra_info["num_swaps"] = result.stats.num_swaps
     benchmark.extra_info["opposing_ratio"] = result.stats.opposing_swap_ratio
@@ -49,11 +51,8 @@ def test_lookahead_ablation(benchmark, lookahead, scale):
 @pytest.mark.parametrize("alpha", [0.5, 0.8, 0.98])
 def test_alpha_ablation(benchmark, alpha, scale):
     """Compile QFT with different Eq. 1 discount factors."""
-    circuit = build_workload(ABLATION_WORKLOAD, scale)
-    device = experiments.device_for(scale, ABLATION_WORKLOAD)
-    config = experiments.ROUTING_STUDY_CONFIG.with_overrides(alpha=alpha)
-    compiler = LinQCompiler(device, config)
-    result = benchmark.pedantic(compiler.compile, args=(circuit,),
+    spec = _compile_job(scale, alpha=alpha)
+    result = benchmark.pedantic(execute_spec, args=(spec,),
                                 iterations=1, rounds=1)
     benchmark.extra_info["num_swaps"] = result.stats.num_swaps
 

@@ -13,8 +13,7 @@ import pytest
 
 from repro.analysis import experiments
 from repro.analysis.report import figure6_report
-from repro.compiler.pipeline import LinQCompiler
-from repro.sim.tilt_sim import TiltSimulator
+from repro.exec import JobSpec, execute_spec
 from repro.workloads.suite import build_workload, routing_suite
 
 ROUTING_WORKLOADS = [spec.name for spec in routing_suite()]
@@ -23,19 +22,18 @@ ROUTING_WORKLOADS = [spec.name for spec in routing_suite()]
 @pytest.mark.parametrize("router", ["baseline", "linq"])
 @pytest.mark.parametrize("name", ROUTING_WORKLOADS)
 def test_swap_insertion(benchmark, name, router, scale, noise):
-    """Compile one routing workload with one router; report success rate."""
+    """One engine job (compile + simulate) per routing workload and router."""
     circuit = build_workload(name, scale)
     device = experiments.device_for(scale, name)
     config = experiments.ROUTING_STUDY_CONFIG.with_overrides(router=router)
-    compiler = LinQCompiler(device, config)
+    spec = JobSpec(circuit=circuit, device=device, config=config, noise=noise)
 
-    result = benchmark.pedantic(compiler.compile, args=(circuit,),
+    result = benchmark.pedantic(execute_spec, args=(spec,),
                                 iterations=1, rounds=1)
-    simulation = TiltSimulator(device, noise).run(result)
     benchmark.extra_info["num_swaps"] = result.stats.num_swaps
     benchmark.extra_info["opposing_ratio"] = result.stats.opposing_swap_ratio
     benchmark.extra_info["num_moves"] = result.stats.num_moves
-    benchmark.extra_info["log10_success"] = simulation.log10_success_rate
+    benchmark.extra_info["log10_success"] = result.simulation.log10_success_rate
     assert result.stats.num_swaps > 0 or name == "BV"
 
 

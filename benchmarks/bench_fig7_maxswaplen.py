@@ -12,7 +12,7 @@ import pytest
 
 from repro.analysis import experiments
 from repro.analysis.report import figure7_report
-from repro.compiler.pipeline import LinQCompiler
+from repro.exec import JobSpec, execute_spec
 from repro.workloads.suite import build_workload, routing_suite
 
 ROUTING_WORKLOADS = [spec.name for spec in routing_suite()]
@@ -20,15 +20,16 @@ ROUTING_WORKLOADS = [spec.name for spec in routing_suite()]
 
 @pytest.mark.parametrize("name", ROUTING_WORKLOADS)
 def test_max_swap_len_sweep(benchmark, name, scale):
-    """Time the compile at the most restricted MaxSwapLen of the sweep."""
+    """Time the compile job at the most restricted MaxSwapLen of the sweep."""
     circuit = build_workload(name, scale)
     device = experiments.device_for(scale, name)
     restricted = device.head_size // 2
     config = experiments.ROUTING_STUDY_CONFIG.with_overrides(
         max_swap_len=restricted
     )
-    compiler = LinQCompiler(device, config)
-    result = benchmark.pedantic(compiler.compile, args=(circuit,),
+    spec = JobSpec(circuit=circuit, device=device, config=config,
+                   simulate=False)
+    result = benchmark.pedantic(execute_spec, args=(spec,),
                                 iterations=1, rounds=1)
     assert result.stats.max_swap_span <= restricted
 

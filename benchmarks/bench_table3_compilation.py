@@ -78,3 +78,22 @@ def test_full_pipeline_compile(benchmark, scale):
     result = benchmark.pedantic(compiler.compile, args=(circuit,),
                                 iterations=1, rounds=1)
     result.program.validate()
+
+
+def test_engine_batch_compile(benchmark, scale, noise):
+    """The same Table III jobs submitted as one engine batch."""
+    from repro.analysis.experiments import head_sizes_for
+    from repro.exec import ExecutionEngine, JobSpec
+
+    specs = []
+    for name in WORKLOADS:
+        circuit = build_workload(name, scale)
+        for head in head_sizes_for(scale, circuit.num_qubits):
+            device = TiltDevice(num_qubits=circuit.num_qubits, head_size=head)
+            specs.append(JobSpec(circuit=circuit, device=device, noise=noise))
+
+    engine = ExecutionEngine(workers=1)
+    results = benchmark.pedantic(engine.run, args=(specs,),
+                                 iterations=1, rounds=1)
+    assert len(results) == len(specs)
+    benchmark.extra_info["engine"] = engine.stats.summary()

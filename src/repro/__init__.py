@@ -23,6 +23,7 @@ Quickstart::
 """
 
 from repro import arch, circuits, compiler, core, noise, sim, workloads
+from repro import exec as exec_  # noqa: A004 - the subpackage is repro.exec
 from repro.arch import IdealTrappedIonDevice, QccdDevice, TiltDevice
 from repro.circuits import Circuit, Gate
 from repro.compiler import (
@@ -40,6 +41,7 @@ from repro.core import (
     max_swap_len_sweep,
     tilt_vs_qccd_ratios,
 )
+from repro.exec import ExecutionEngine, JobResult, JobSpec, ResultCache, run_jobs
 from repro.exceptions import (
     CircuitError,
     CompilationError,
@@ -67,13 +69,17 @@ __all__ = [
     "CompileResult",
     "CompilerConfig",
     "DeviceError",
+    "ExecutionEngine",
     "Gate",
     "IdealSimulator",
     "IdealTrappedIonDevice",
+    "JobResult",
+    "JobSpec",
     "LinQ",
     "LinQCompiler",
     "LinQRunReport",
     "NoiseParameters",
+    "ResultCache",
     "QasmError",
     "QccdCompiler",
     "QccdDevice",
@@ -94,8 +100,10 @@ __all__ = [
     "compile_for_tilt",
     "compiler",
     "core",
+    "exec_",
     "max_swap_len_sweep",
     "noise",
+    "run_jobs",
     "sim",
     "tilt_vs_qccd_ratios",
     "workloads",

@@ -13,6 +13,12 @@ Every driver takes a ``scale`` argument:
 The scale can also be forced globally through the ``TILT_REPRO_SCALE``
 environment variable, which is how ``pytest benchmarks/`` is switched to
 paper scale for the numbers recorded in EXPERIMENTS.md.
+
+All drivers route through the :mod:`repro.exec` batch engine: each figure
+or table assembles its full set of (circuit, device, config, noise) jobs
+and submits them in one batch, so the engine can deduplicate and cache
+points and — with ``workers`` > 1 or ``TILT_REPRO_WORKERS`` set — compile
+and simulate independent points concurrently on a process pool.
 """
 
 from __future__ import annotations
@@ -21,16 +27,17 @@ import os
 from dataclasses import dataclass
 
 from repro.arch.tilt import TiltDevice
-from repro.compiler.pipeline import CompilerConfig, LinQCompiler
+from repro.compiler.pipeline import CompilerConfig
 from repro.core.comparison import (
     ArchitectureComparison,
-    compare_architectures,
+    comparison_from_results,
+    comparison_specs,
     tilt_vs_qccd_ratios,
 )
-from repro.core.sweep import SweepPoint, max_swap_len_sweep
+from repro.core.sweep import SweepPoint, sweep_job
 from repro.exceptions import ReproError
+from repro.exec import ExecutionEngine, JobSpec, run_jobs
 from repro.noise.parameters import NoiseParameters
-from repro.sim.tilt_sim import TiltSimulator
 from repro.workloads.suite import (
     build_workload,
     routing_suite,
@@ -105,7 +112,9 @@ class Figure6Row:
 
 
 def figure6(scale: str | None = None,
-            noise_params: NoiseParameters | None = None) -> list[Figure6Row]:
+            noise_params: NoiseParameters | None = None,
+            *, workers: int | None = None,
+            engine: ExecutionEngine | None = None) -> list[Figure6Row]:
     """Reproduce Figure 6: swap counts, opposing ratio, moves and success.
 
     Only the long-distance workloads (BV, QFT, SQRT) are included, exactly
@@ -113,27 +122,33 @@ def figure6(scale: str | None = None,
     """
     scale = resolve_scale(scale)
     params = noise_params or NoiseParameters.paper_defaults()
-    rows: list[Figure6Row] = []
+    cells: list[tuple[str, str]] = []
+    specs: list[JobSpec] = []
     for spec in routing_suite():
         circuit = build_workload(spec.name, scale)
         device = device_for(scale, spec.name)
         for router in ("baseline", "linq"):
             config = ROUTING_STUDY_CONFIG.with_overrides(router=router)
-            compiled = LinQCompiler(device, config).compile(circuit)
-            result = TiltSimulator(device, params).run(compiled)
-            stats = compiled.stats
-            rows.append(
-                Figure6Row(
-                    workload=spec.name,
-                    router=router,
-                    num_swaps=stats.num_swaps,
-                    num_opposing_swaps=stats.num_opposing_swaps,
-                    opposing_swap_ratio=stats.opposing_swap_ratio,
-                    num_moves=stats.num_moves,
-                    success_rate=result.success_rate,
-                    log10_success_rate=result.log10_success_rate,
-                )
+            cells.append((spec.name, router))
+            specs.append(sweep_job(circuit, device, config, params,
+                                   label=f"{spec.name}/{router}"))
+    results = run_jobs(specs, workers=workers, engine=engine)
+    rows: list[Figure6Row] = []
+    for (workload, router), result in zip(cells, results):
+        stats = result.stats
+        simulation = result.simulation
+        rows.append(
+            Figure6Row(
+                workload=workload,
+                router=router,
+                num_swaps=stats.num_swaps,
+                num_opposing_swaps=stats.num_opposing_swaps,
+                opposing_swap_ratio=stats.opposing_swap_ratio,
+                num_moves=stats.num_moves,
+                success_rate=simulation.success_rate,
+                log10_success_rate=simulation.log10_success_rate,
             )
+        )
     return rows
 
 
@@ -154,31 +169,45 @@ class Figure7Row:
 
 def figure7(scale: str | None = None,
             workloads: tuple[str, ...] | None = None,
-            noise_params: NoiseParameters | None = None) -> list[Figure7Row]:
-    """Reproduce Figure 7: success/swaps/moves as MaxSwapLen is restricted."""
+            noise_params: NoiseParameters | None = None,
+            *, workers: int | None = None,
+            engine: ExecutionEngine | None = None) -> list[Figure7Row]:
+    """Reproduce Figure 7: success/swaps/moves as MaxSwapLen is restricted.
+
+    The whole figure — every workload at every MaxSwapLen — is one engine
+    batch, so all points run concurrently when ``workers`` > 1.
+    """
     scale = resolve_scale(scale)
     params = noise_params or NoiseParameters.paper_defaults()
     names = workloads or tuple(spec.name for spec in routing_suite())
-    rows: list[Figure7Row] = []
+    cells: list[tuple[str, int]] = []
+    specs: list[JobSpec] = []
     for name in names:
         circuit = build_workload(name, scale)
         device = device_for(scale, name)
         lengths = list(range(device.max_gate_span, device.head_size // 2 - 1, -1))
-        points = max_swap_len_sweep(
-            circuit, device, lengths,
-            base_config=ROUTING_STUDY_CONFIG, noise_params=params,
-        )
-        for point in points:
-            rows.append(
-                Figure7Row(
-                    workload=name,
-                    max_swap_len=int(point.value),
-                    num_swaps=point.num_swaps,
-                    num_moves=point.num_moves,
-                    success_rate=point.success_rate,
-                    log10_success_rate=point.log10_success_rate,
-                )
+        for length in lengths:
+            cells.append((name, length))
+            specs.append(sweep_job(
+                circuit, device,
+                ROUTING_STUDY_CONFIG.with_overrides(max_swap_len=length),
+                params, label=f"{name}/max_swap_len={length}",
+            ))
+    results = run_jobs(specs, workers=workers, engine=engine)
+    rows: list[Figure7Row] = []
+    for (name, length), result in zip(cells, results):
+        stats = result.stats
+        simulation = result.simulation
+        rows.append(
+            Figure7Row(
+                workload=name,
+                max_swap_len=length,
+                num_swaps=stats.num_swaps,
+                num_moves=stats.num_moves,
+                success_rate=simulation.success_rate,
+                log10_success_rate=simulation.log10_success_rate,
             )
+        )
     return rows
 
 
@@ -196,12 +225,18 @@ def best_max_swap_len(rows: list[Figure7Row], workload: str) -> Figure7Row:
 def figure8(scale: str | None = None,
             workloads: tuple[str, ...] | None = None,
             noise_params: NoiseParameters | None = None,
+            *, workers: int | None = None,
+            engine: ExecutionEngine | None = None,
             ) -> list[ArchitectureComparison]:
-    """Reproduce Figure 8: TILT (two head sizes) vs Ideal TI vs QCCD."""
+    """Reproduce Figure 8: TILT (two head sizes) vs Ideal TI vs QCCD.
+
+    All architectures of all workloads form one engine batch.
+    """
     scale = resolve_scale(scale)
     params = noise_params or NoiseParameters.paper_defaults()
     names = workloads or tuple(spec.name for spec in standard_suite())
-    comparisons: list[ArchitectureComparison] = []
+    per_workload: list[tuple[str, int]] = []
+    specs: list[JobSpec] = []
     for name in names:
         circuit = build_workload(name, scale)
         width = circuit.num_qubits
@@ -210,14 +245,24 @@ def figure8(scale: str | None = None,
             capacities: tuple[int, ...] = (17, 25, 33)
         else:
             capacities = (max(3, width // 4), max(4, width // 3), max(5, width // 2))
-        comparison = compare_architectures(
+        workload_specs = comparison_specs(
             circuit,
             head_sizes=head_sizes,
             qccd_trap_capacities=capacities,
             noise_params=params,
         )
+        per_workload.append((name, len(workload_specs)))
+        specs.extend(workload_specs)
+    results = run_jobs(specs, workers=workers, engine=engine)
+    comparisons: list[ArchitectureComparison] = []
+    offset = 0
+    for name, count in per_workload:
+        comparison = comparison_from_results(
+            name, results[offset:offset + count]
+        )
         comparison.circuit_name = name
         comparisons.append(comparison)
+        offset += count
     return comparisons
 
 
@@ -249,30 +294,43 @@ class Table3Row:
 
 
 def table3(scale: str | None = None,
-           noise_params: NoiseParameters | None = None) -> list[Table3Row]:
-    """Reproduce Table III: compile times, moves, travel and run time."""
+           noise_params: NoiseParameters | None = None,
+           *, workers: int | None = None,
+           engine: ExecutionEngine | None = None) -> list[Table3Row]:
+    """Reproduce Table III: compile times, moves, travel and run time.
+
+    Note the compile-time columns are wall-clock measurements from the run
+    that produced each point; a cache-served point reports the timings of
+    the run that first executed it.
+    """
     scale = resolve_scale(scale)
     params = noise_params or NoiseParameters.paper_defaults()
-    rows: list[Table3Row] = []
+    cells: list[tuple[str, int]] = []
+    specs: list[JobSpec] = []
     for spec in standard_suite():
         circuit = build_workload(spec.name, scale)
         width = circuit.num_qubits
         for head_size in head_sizes_for(scale, width):
             device = TiltDevice(num_qubits=width, head_size=head_size)
-            compiled = LinQCompiler(device, CompilerConfig()).compile(circuit)
-            result = TiltSimulator(device, params).run(compiled)
-            stats = compiled.stats
-            rows.append(
-                Table3Row(
-                    workload=spec.name,
-                    head_size=head_size,
-                    time_swap_s=stats.time_swap_s,
-                    time_schedule_s=stats.time_schedule_s,
-                    num_moves=stats.num_moves,
-                    move_distance_um=stats.move_distance_um,
-                    execution_time_s=result.execution_time_s,
-                )
+            cells.append((spec.name, head_size))
+            specs.append(sweep_job(circuit, device, CompilerConfig(), params,
+                                   label=f"{spec.name}/head={head_size}"))
+    results = run_jobs(specs, workers=workers, engine=engine)
+    rows: list[Table3Row] = []
+    for (workload, head_size), result in zip(cells, results):
+        stats = result.stats
+        simulation = result.simulation
+        rows.append(
+            Table3Row(
+                workload=workload,
+                head_size=head_size,
+                time_swap_s=stats.time_swap_s,
+                time_schedule_s=stats.time_schedule_s,
+                num_moves=stats.num_moves,
+                move_distance_um=stats.move_distance_um,
+                execution_time_s=simulation.execution_time_s,
             )
+        )
     return rows
 
 
@@ -280,18 +338,24 @@ def table3(scale: str | None = None,
 # Ablations (beyond the paper's figures)
 # ----------------------------------------------------------------------
 def ablation_mapper(scale: str | None = None,
-                    workload: str = "QFT") -> dict[str, SweepPoint]:
+                    workload: str = "QFT",
+                    *, workers: int | None = None,
+                    engine: ExecutionEngine | None = None,
+                    ) -> dict[str, SweepPoint]:
     """Effect of the initial-mapping heuristic on one routing workload."""
     from repro.core.sweep import mapper_sweep
 
     scale = resolve_scale(scale)
     circuit = build_workload(workload, scale)
     device = device_for(scale, workload)
-    return mapper_sweep(circuit, device)
+    return mapper_sweep(circuit, device, workers=workers, engine=engine)
 
 
 def ablation_lookahead(scale: str | None = None,
-                       workload: str = "QFT") -> list[SweepPoint]:
+                       workload: str = "QFT",
+                       *, workers: int | None = None,
+                       engine: ExecutionEngine | None = None,
+                       ) -> list[SweepPoint]:
     """Effect of the Eq. 1 lookahead window on one routing workload."""
     from repro.core.sweep import lookahead_sweep
 
@@ -299,4 +363,5 @@ def ablation_lookahead(scale: str | None = None,
     circuit = build_workload(workload, scale)
     device = device_for(scale, workload)
     return lookahead_sweep(circuit, device,
-                           base_config=ROUTING_STUDY_CONFIG)
+                           base_config=ROUTING_STUDY_CONFIG,
+                           workers=workers, engine=engine)

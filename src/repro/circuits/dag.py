@@ -105,6 +105,7 @@ class FrontierTracker:
         gates = circuit.gates
         selected = list(indices) if indices is not None else list(range(len(gates)))
         self._circuit = circuit
+        self._gates = gates  # cached: Circuit.gates rebuilds a tuple per call
         self._indegree: dict[int, int] = {}
         self._successors: dict[int, list[int]] = {i: [] for i in selected}
         selected_set = set(selected)
@@ -132,6 +133,7 @@ class FrontierTracker:
         """Return an independent copy of the tracker state."""
         other = FrontierTracker._blank()
         other._circuit = self._circuit
+        other._gates = self._gates
         other._indegree = dict(self._indegree)
         other._successors = self._successors  # static, shared
         other._ready = set(self._ready)
@@ -197,7 +199,7 @@ class FrontierTracker:
         edges (an overlay of in-degrees is used instead of copying the
         tracker).
         """
-        gates = self._circuit.gates
+        gates = self._gates
         executed: list[int] = []
         overlay_indegree: dict[int, int] = {}
         queue = [index for index in self._ready if accepts(gates[index])]

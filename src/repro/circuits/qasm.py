@@ -17,10 +17,6 @@ from repro.exceptions import QasmError
 
 _HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
 
-#: Gate names that OpenQASM 2.0 / qelib1 spells differently from this IR.
-_EMIT_NAME = {"xx": "rxx"}
-_PARSE_NAME = {"rxx": "rxx", "xx": "xx"}
-
 
 def _format_angle(value: float) -> str:
     """Render an angle, using multiples of pi when exact for readability."""
@@ -60,10 +56,14 @@ def circuit_to_qasm(circuit: Circuit) -> str:
             (q,) = gate.qubits
             lines.append(f"measure q[{q}] -> c[{q}];")
             continue
-        name = _EMIT_NAME.get(gate.name, gate.name)
+        name, params = gate.name, gate.params
+        if name == "xx":
+            # qelib1 has no native Molmer-Sorensen gate; xx(theta) =
+            # exp(+i theta XX) = rxx(-2 theta) (see compiler.decompose).
+            name, params = "rxx", (-2.0 * gate.params[0],)
         targets = ",".join(f"q[{q}]" for q in gate.qubits)
-        if gate.params:
-            args = ",".join(_format_angle(p) for p in gate.params)
+        if params:
+            args = ",".join(_format_angle(p) for p in params)
             lines.append(f"{name}({args}) {targets};")
         else:
             lines.append(f"{name} {targets};")
@@ -120,8 +120,6 @@ def qasm_to_circuit(text: str, name: str = "qasm") -> Circuit:
             raise QasmError(f"cannot parse statement: {stmt!r}")
         gate_name, params_text, targets_text = match.groups()
         gate_name = gate_name.lower()
-        if gate_name == "rxx":
-            gate_name = "rxx"
         if gate_name not in GATE_SPECS:
             raise QasmError(f"unsupported gate in QASM input: {gate_name!r}")
         params = (

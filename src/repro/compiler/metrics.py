@@ -15,11 +15,21 @@ from repro.compiler.routing import RoutingResult
 
 @dataclass(frozen=True)
 class CompileStats:
-    """Aggregate numbers describing one compiled program."""
+    """Aggregate numbers describing one compiled program.
+
+    ``num_gates`` counts every non-barrier operation (including measures,
+    matching :meth:`repro.circuits.circuit.Circuit.num_gates`);
+    ``num_one_qubit_gates`` counts only single-qubit *unitaries*, and
+    ``num_other_ops`` the non-unitary operations counted in ``num_gates``
+    (i.e. measures — barriers are structural and excluded from every
+    count here), so ``num_gates == num_one_qubit_gates +
+    num_two_qubit_gates + num_other_ops`` always holds.
+    """
 
     num_gates: int
     num_two_qubit_gates: int
     num_one_qubit_gates: int
+    num_other_ops: int
     num_swaps: int
     num_opposing_swaps: int
     opposing_swap_ratio: float
@@ -50,10 +60,18 @@ def collect_stats(
     circuit = program.circuit
     num_two_qubit = circuit.num_two_qubit_gates()
     num_gates = circuit.num_gates()
+    num_one_qubit = sum(
+        1 for gate in circuit if gate.num_qubits == 1 and gate.is_unitary
+    )
+    num_other = sum(
+        1 for gate in circuit
+        if not gate.is_unitary and gate.name != "barrier"
+    )
     return CompileStats(
         num_gates=num_gates,
         num_two_qubit_gates=num_two_qubit,
-        num_one_qubit_gates=num_gates - num_two_qubit,
+        num_one_qubit_gates=num_one_qubit,
+        num_other_ops=num_other,
         num_swaps=routing.num_swaps,
         num_opposing_swaps=routing.num_opposing_swaps,
         opposing_swap_ratio=routing.opposing_swap_ratio,

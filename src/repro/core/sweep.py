@@ -5,6 +5,12 @@ SWAPs below the maximum executable span costs a few extra SWAPs but gives
 the tape-movement scheduler more freedom, and somewhere in between lies the
 success-rate sweet spot (Figure 7).  :func:`find_best_max_swap_len` automates
 the paper's "iterate the LinQ procedure to find the best choice" loop.
+
+Every sweep routes through the :mod:`repro.exec` engine: the per-point
+compile+simulate jobs are declarative :class:`~repro.exec.JobSpec` objects,
+so points are deduplicated, cached across invocations, and optionally fanned
+out over a process pool (``workers`` > 1).  ``workers=1`` — the default —
+is a fully serial, deterministic path producing bit-identical results.
 """
 
 from __future__ import annotations
@@ -13,14 +19,21 @@ from dataclasses import dataclass
 
 from repro.arch.tilt import TiltDevice
 from repro.circuits.circuit import Circuit
-from repro.compiler.pipeline import CompilerConfig, LinQCompiler
+from repro.compiler.pipeline import CompilerConfig
+from repro.exec import ExecutionEngine, JobResult, JobSpec, run_jobs
+from repro.exceptions import ReproError
 from repro.noise.parameters import NoiseParameters
-from repro.sim.tilt_sim import TiltSimulator
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One configuration of a sweep and its measured outcomes."""
+    """One configuration of a sweep and its measured outcomes.
+
+    ``value`` is the numeric parameter setting; ``label`` is the
+    human-readable form (for categorical sweeps such as the mapper
+    ablation, ``label`` carries the actual category name and ``value`` is
+    just the ordinal position).
+    """
 
     parameter: str
     value: float
@@ -31,14 +44,26 @@ class SweepPoint:
     success_rate: float
     log10_success_rate: float
     execution_time_s: float
+    label: str = ""
 
 
-def _evaluate(circuit: Circuit, device: TiltDevice, config: CompilerConfig,
-              params: NoiseParameters, parameter: str,
-              value: float) -> SweepPoint:
-    compiled = LinQCompiler(device, config).compile(circuit)
-    result = TiltSimulator(device, params).run(compiled)
-    stats = compiled.stats
+def sweep_job(circuit: Circuit, device: TiltDevice, config: CompilerConfig,
+              params: NoiseParameters, label: str = "") -> JobSpec:
+    """The engine job for one sweep point (compile + simulate on TILT)."""
+    return JobSpec(circuit=circuit, device=device, config=config,
+                   noise=params, simulate=True, label=label)
+
+
+def point_from_result(result: JobResult, parameter: str, value: float,
+                      label: str = "") -> SweepPoint:
+    """Convert one finished engine job into a :class:`SweepPoint`."""
+    stats = result.stats
+    simulation = result.simulation
+    if stats is None or simulation is None:
+        raise ReproError(
+            f"sweep job {result.label or result.key} returned no "
+            "compile/simulation outcome"
+        )
     return SweepPoint(
         parameter=parameter,
         value=value,
@@ -46,10 +71,23 @@ def _evaluate(circuit: Circuit, device: TiltDevice, config: CompilerConfig,
         num_opposing_swaps=stats.num_opposing_swaps,
         num_moves=stats.num_moves,
         move_distance_um=stats.move_distance_um,
-        success_rate=result.success_rate,
-        log10_success_rate=result.log10_success_rate,
-        execution_time_s=result.execution_time_s,
+        success_rate=simulation.success_rate,
+        log10_success_rate=simulation.log10_success_rate,
+        execution_time_s=simulation.execution_time_s,
+        label=label or f"{parameter}={value:g}",
     )
+
+
+def _run_sweep(specs: list[JobSpec], parameter: str, values: list[float],
+               labels: list[str] | None = None, *,
+               workers: int | None, engine: ExecutionEngine | None,
+               ) -> list[SweepPoint]:
+    results = run_jobs(specs, workers=workers, engine=engine)
+    labels = labels or ["" for _ in values]
+    return [
+        point_from_result(result, parameter, value, label)
+        for result, value, label in zip(results, values, labels)
+    ]
 
 
 def max_swap_len_sweep(
@@ -59,28 +97,27 @@ def max_swap_len_sweep(
     *,
     base_config: CompilerConfig | None = None,
     noise_params: NoiseParameters | None = None,
+    workers: int | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> list[SweepPoint]:
     """Compile and simulate *circuit* once per MaxSwapLen value (Fig. 7).
 
     ``lengths`` defaults to ``head_size - 1`` down to ``head_size / 2``, the
-    range plotted in Figure 7.
+    range plotted in Figure 7.  ``workers`` fans the points out over a
+    process pool; ``engine`` overrides the shared execution engine.
     """
     if lengths is None:
         lengths = list(range(device.max_gate_span, device.head_size // 2 - 1, -1))
     config = base_config or CompilerConfig()
     params = noise_params or NoiseParameters.paper_defaults()
-    points = []
-    for length in lengths:
-        point = _evaluate(
-            circuit,
-            device,
-            config.with_overrides(max_swap_len=length),
-            params,
-            "max_swap_len",
-            length,
-        )
-        points.append(point)
-    return points
+    specs = [
+        sweep_job(circuit, device,
+                  config.with_overrides(max_swap_len=length), params,
+                  label=f"max_swap_len={length}")
+        for length in lengths
+    ]
+    return _run_sweep(specs, "max_swap_len", [float(v) for v in lengths],
+                      workers=workers, engine=engine)
 
 
 def find_best_max_swap_len(
@@ -90,11 +127,14 @@ def find_best_max_swap_len(
     *,
     base_config: CompilerConfig | None = None,
     noise_params: NoiseParameters | None = None,
+    workers: int | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> SweepPoint:
     """The sweep point with the highest success rate (paper Section IV-C)."""
     points = max_swap_len_sweep(
         circuit, device, lengths,
         base_config=base_config, noise_params=noise_params,
+        workers=workers, engine=engine,
     )
     return max(points, key=lambda point: point.log10_success_rate)
 
@@ -106,16 +146,20 @@ def alpha_sweep(
     *,
     base_config: CompilerConfig | None = None,
     noise_params: NoiseParameters | None = None,
+    workers: int | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> list[SweepPoint]:
     """Ablation: sensitivity of the Eq. 1 score to the discount factor."""
     alphas = alphas or [0.3, 0.5, 0.7, 0.8, 0.9, 0.95]
     config = base_config or CompilerConfig()
     params = noise_params or NoiseParameters.paper_defaults()
-    return [
-        _evaluate(circuit, device, config.with_overrides(alpha=alpha),
-                  params, "alpha", alpha)
+    specs = [
+        sweep_job(circuit, device, config.with_overrides(alpha=alpha),
+                  params, label=f"alpha={alpha:g}")
         for alpha in alphas
     ]
+    return _run_sweep(specs, "alpha", list(alphas),
+                      workers=workers, engine=engine)
 
 
 def lookahead_sweep(
@@ -125,17 +169,21 @@ def lookahead_sweep(
     *,
     base_config: CompilerConfig | None = None,
     noise_params: NoiseParameters | None = None,
+    workers: int | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> list[SweepPoint]:
     """Ablation: sensitivity to the Eq. 1 lookahead window size."""
     windows = windows or [1, 5, 10, 20, 40]
     config = base_config or CompilerConfig()
     params = noise_params or NoiseParameters.paper_defaults()
-    return [
-        _evaluate(circuit, device,
-                  config.with_overrides(lookahead_window=window),
-                  params, "lookahead_window", window)
+    specs = [
+        sweep_job(circuit, device,
+                  config.with_overrides(lookahead_window=window), params,
+                  label=f"lookahead_window={window}")
         for window in windows
     ]
+    return _run_sweep(specs, "lookahead_window", [float(v) for v in windows],
+                      workers=workers, engine=engine)
 
 
 def mapper_sweep(
@@ -145,14 +193,22 @@ def mapper_sweep(
     *,
     base_config: CompilerConfig | None = None,
     noise_params: NoiseParameters | None = None,
+    workers: int | None = None,
+    engine: ExecutionEngine | None = None,
 ) -> dict[str, SweepPoint]:
-    """Ablation: effect of the initial-mapping heuristic."""
+    """Ablation: effect of the initial-mapping heuristic.
+
+    The returned points carry the mapper name in ``label`` (``value`` is
+    only the ordinal position of the mapper in the sweep).
+    """
     mappers = mappers or ["trivial", "spectral", "greedy"]
     config = base_config or CompilerConfig()
     params = noise_params or NoiseParameters.paper_defaults()
-    return {
-        mapper: _evaluate(circuit, device,
-                          config.with_overrides(mapper=mapper),
-                          params, "mapper", index)
-        for index, mapper in enumerate(mappers)
-    }
+    specs = [
+        sweep_job(circuit, device, config.with_overrides(mapper=mapper),
+                  params, label=mapper)
+        for mapper in mappers
+    ]
+    points = _run_sweep(specs, "mapper", [float(i) for i in range(len(mappers))],
+                        list(mappers), workers=workers, engine=engine)
+    return {mapper: point for mapper, point in zip(mappers, points)}

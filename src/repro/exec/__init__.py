@@ -1,0 +1,42 @@
+"""Batch execution engine for the reproduction's experiments.
+
+Every paper figure and table boils down to the same unit of work: compile
+one circuit for one device under one :class:`~repro.compiler.pipeline.CompilerConfig`
+and simulate it under one :class:`~repro.noise.parameters.NoiseParameters`.
+This package turns that unit into a declarative :class:`JobSpec` and runs
+batches of them through a shared :class:`ExecutionEngine` that
+
+* deduplicates identical specs inside a batch,
+* caches results by a content hash of the spec (in memory, and optionally
+  in an on-disk JSON cache that survives processes),
+* fans independent jobs out over a ``concurrent.futures`` process pool
+  (``workers=1`` is a fully serial, deterministic fallback), and
+* records per-job wall-clock timings plus batch-level counters.
+
+The sweep / comparison / experiment drivers in :mod:`repro.core` and
+:mod:`repro.analysis` are thin wrappers over this engine.
+"""
+
+from repro.exec.cache import ResultCache
+from repro.exec.engine import (
+    EngineStats,
+    ExecutionEngine,
+    default_engine,
+    execute_spec,
+    reset_default_engine,
+    run_jobs,
+)
+from repro.exec.jobs import JobResult, JobSpec, spec_key
+
+__all__ = [
+    "EngineStats",
+    "ExecutionEngine",
+    "JobResult",
+    "JobSpec",
+    "ResultCache",
+    "default_engine",
+    "execute_spec",
+    "reset_default_engine",
+    "run_jobs",
+    "spec_key",
+]

@@ -1,0 +1,124 @@
+"""Result caching for the execution engine.
+
+:class:`ResultCache` is a content-addressed store of :class:`~repro.exec.jobs.JobResult`
+records keyed by :func:`~repro.exec.jobs.spec_key`.  It always keeps an
+in-memory map; when constructed with a path it additionally persists every
+stored result to a JSON file, so repeated invocations of an experiment
+script skip all compilation and simulation work.
+
+The engine's outputs are deterministic functions of the spec (compilation
+is seeded and the noise model is analytic), so serving a cached result is
+behaviour-preserving; only the recorded wall-clock compile timings reflect
+the run that first produced the entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from typing import Iterator
+
+from repro.exec.jobs import JobResult, result_from_json, result_to_json
+
+#: Format marker so future layout changes can migrate or invalidate files.
+_CACHE_VERSION = 1
+
+
+class ResultCache:
+    """In-memory (and optionally on-disk) store of job results."""
+
+    def __init__(self, path: str | os.PathLike[str] | None = None) -> None:
+        self._memory: dict[str, JobResult] = {}
+        self._lock = threading.Lock()
+        self._path = os.fspath(path) if path is not None else None
+        self._dirty = False
+        if self._path is not None and os.path.exists(self._path):
+            self._load()
+
+    # ------------------------------------------------------------------
+    # Mapping-style access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(dict(self._memory))
+
+    def get(self, key: str) -> JobResult | None:
+        """The cached result for *key*, or ``None``."""
+        return self._memory.get(key)
+
+    def store(self, result: JobResult) -> None:
+        """Insert *result* under its own key (cache-hit flag cleared)."""
+        with self._lock:
+            self._memory[result.key] = result
+            self._dirty = True
+
+    def store_many(self, results: Iterator[JobResult] | list[JobResult]) -> None:
+        for result in results:
+            self.store(result)
+
+    def clear(self) -> None:
+        """Drop every entry (memory only; call :meth:`flush` to persist)."""
+        with self._lock:
+            self._memory.clear()
+            self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Disk persistence
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> str | None:
+        """The backing JSON file, or ``None`` for a memory-only cache."""
+        return self._path
+
+    def _load(self) -> None:
+        assert self._path is not None
+        try:
+            with open(self._path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return  # a corrupt or unreadable cache is simply ignored
+        if payload.get("version") != _CACHE_VERSION:
+            return
+        for entry in payload.get("results", []):
+            try:
+                result = result_from_json(entry)
+            except (KeyError, TypeError):
+                continue
+            self._memory[result.key] = result
+        self._dirty = False
+
+    def flush(self) -> None:
+        """Write the current contents to disk (no-op for memory caches)."""
+        if self._path is None:
+            return
+        with self._lock:
+            if not self._dirty:
+                return
+            payload = {
+                "version": _CACHE_VERSION,
+                "results": [
+                    result_to_json(result) for result in self._memory.values()
+                ],
+            }
+            directory = os.path.dirname(os.path.abspath(self._path))
+            os.makedirs(directory, exist_ok=True)
+            # Atomic replace so a crashed writer never corrupts the cache.
+            fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle)
+                os.replace(temp_path, self._path)
+            except OSError:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+            self._dirty = False

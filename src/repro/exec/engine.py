@@ -1,0 +1,295 @@
+"""The batch execution engine.
+
+:class:`ExecutionEngine` takes a batch of :class:`~repro.exec.jobs.JobSpec`
+objects and returns one :class:`~repro.exec.jobs.JobResult` per spec, in
+input order.  Work proceeds in three steps:
+
+1. **cache lookup** — specs whose content hash is already in the
+   :class:`~repro.exec.cache.ResultCache` are served immediately;
+2. **deduplication** — remaining specs with equal hashes collapse to one
+   execution;
+3. **execution** — unique specs run either inline (``workers=1``, the
+   deterministic serial fallback) or across a
+   :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Because compilation is seeded and the noise model is analytic, pooled and
+serial execution produce bit-identical results; the pool only changes
+wall-clock time.  Batch-level counters (cache hits/misses, jobs executed,
+per-job timings) accumulate on the engine for the acceptance checks and
+the progress report.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.compiler.pipeline import CompilerConfig, LinQCompiler
+from repro.compiler.qccd_compiler import QccdCompiler
+from repro.exceptions import ReproError
+from repro.exec.cache import ResultCache
+from repro.exec.jobs import JobResult, JobSpec, spec_key
+from repro.noise.parameters import NoiseParameters
+from repro.sim.ideal_sim import IdealSimulator
+from repro.sim.qccd_sim import QccdSimulator
+from repro.sim.tilt_sim import TiltSimulator
+
+#: Environment variable holding the default worker count for new engines.
+WORKERS_ENV_VAR = "TILT_REPRO_WORKERS"
+
+#: Type of the optional progress callback: (jobs finished, total, result).
+ProgressCallback = Callable[[int, int, JobResult], None]
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker count: explicit value, env var, or 1 (serial)."""
+    if workers is not None:
+        value = int(workers)
+    else:
+        raw = os.environ.get(WORKERS_ENV_VAR, "")
+        if not raw:
+            return 1
+        try:
+            value = int(raw)
+        except ValueError as exc:
+            raise ReproError(
+                f"{WORKERS_ENV_VAR}={raw!r} is not an integer"
+            ) from exc
+    if value == 0:
+        value = os.cpu_count() or 1
+    if value < 0:
+        raise ReproError(f"workers must be >= 0, got {value}")
+    return value
+
+
+# ----------------------------------------------------------------------
+# The worker function (module level so the process pool can pickle it)
+# ----------------------------------------------------------------------
+def execute_spec(spec: JobSpec, key: str | None = None) -> JobResult:
+    """Run one job to completion in the current process."""
+    key = key or spec_key(spec)
+    noise = spec.noise or NoiseParameters.paper_defaults()
+    start = time.perf_counter()
+    stats = None
+    simulation = None
+    if spec.backend == "tilt":
+        config = spec.config or CompilerConfig()
+        compiled = LinQCompiler(spec.device, config).compile(spec.circuit)
+        stats = compiled.stats
+        if spec.simulate:
+            simulation = TiltSimulator(spec.device, noise).run(compiled)
+    elif spec.backend == "ideal":
+        simulation = IdealSimulator(spec.device, noise).run(spec.circuit)
+    elif spec.backend == "qccd":
+        program = QccdCompiler(spec.device).compile(spec.circuit)
+        if spec.simulate:
+            simulation = QccdSimulator(spec.device, noise).run(
+                program, circuit_name=spec.circuit.name
+            )
+    else:  # pragma: no cover - validated by JobSpec.__post_init__
+        raise ReproError(f"unknown backend {spec.backend!r}")
+    wall_time = time.perf_counter() - start
+    return JobResult(
+        key=key,
+        backend=spec.backend,
+        label=spec.label,
+        stats=stats,
+        simulation=simulation,
+        wall_time_s=wall_time,
+    )
+
+
+@dataclass
+class EngineStats:
+    """Cumulative counters over every batch an engine has run."""
+
+    jobs_submitted: int = 0
+    jobs_executed: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+    execution_time_s: float = 0.0
+    batch_time_s: float = 0.0
+    job_times_s: list[float] = field(default_factory=list)
+
+    @property
+    def cache_misses(self) -> int:
+        """Specs that had to be executed (submitted minus hits and dupes)."""
+        return self.jobs_submitted - self.cache_hits - self.deduplicated
+
+    def summary(self) -> str:
+        return (
+            f"{self.jobs_submitted} jobs: {self.jobs_executed} executed, "
+            f"{self.cache_hits} cache hits, {self.deduplicated} deduplicated "
+            f"({self.execution_time_s:.2f} s work in "
+            f"{self.batch_time_s:.2f} s wall)"
+        )
+
+
+class ExecutionEngine:
+    """Run batches of jobs with caching, deduplication and a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool size.  ``1`` (the default) executes inline — fully
+        serial and deterministic; ``0`` means "one per CPU"; ``None``
+        defers to the ``TILT_REPRO_WORKERS`` environment variable.
+    cache:
+        The :class:`ResultCache` to consult and populate.  Pass an
+        explicit instance to share results across engines, or ``None``
+        for a private in-memory cache.
+    cache_path:
+        Convenience: build an on-disk cache at this path (ignored when
+        *cache* is given).
+    progress:
+        Optional callback invoked after every finished job with
+        ``(jobs done, total, result)``.
+    """
+
+    def __init__(self, *, workers: int | None = 1,
+                 cache: ResultCache | None = None,
+                 cache_path: str | os.PathLike[str] | None = None,
+                 progress: ProgressCallback | None = None) -> None:
+        self.workers = resolve_workers(workers)
+        self.cache = cache if cache is not None else ResultCache(cache_path)
+        self.progress = progress
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run_one(self, spec: JobSpec) -> JobResult:
+        """Run a single spec (through the cache)."""
+        return self.run([spec])[0]
+
+    def run(self, specs: Sequence[JobSpec], *,
+            workers: int | None = None) -> list[JobResult]:
+        """Run *specs*, returning one result per spec in input order.
+
+        ``workers`` overrides the engine's configured pool size for this
+        batch only (engine state is not mutated).
+        """
+        batch_start = time.perf_counter()
+        batch_workers = (self.workers if workers is None
+                         else resolve_workers(workers))
+        keys = [spec_key(spec) for spec in specs]
+        results: list[JobResult | None] = [None] * len(specs)
+        done = 0
+        total = len(specs)
+
+        # 1. Serve cache hits; 2. collapse duplicate keys to one execution.
+        pending: dict[str, list[int]] = {}
+        for index, (spec, key) in enumerate(zip(specs, keys)):
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[index] = cached.with_cache_hit(label=spec.label)
+                self.stats.cache_hits += 1
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, results[index])
+            else:
+                pending.setdefault(key, []).append(index)
+        unique = [(key, specs[indices[0]]) for key, indices in pending.items()]
+        self.stats.jobs_submitted += len(specs)
+        self.stats.deduplicated += sum(
+            len(indices) - 1 for indices in pending.values()
+        )
+
+        # 3. Execute the unique misses, serially or across the pool.
+        for key, result in self._execute_all(unique, batch_workers):
+            self.cache.store(result)
+            self.stats.jobs_executed += 1
+            self.stats.execution_time_s += result.wall_time_s
+            self.stats.job_times_s.append(result.wall_time_s)
+            for position, index in enumerate(pending[key]):
+                if position == 0:
+                    results[index] = result
+                else:  # duplicate spec in the same batch: shared result
+                    results[index] = result.with_cache_hit(
+                        label=specs[index].label
+                    )
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, results[index])
+
+        self.cache.flush()
+        self.stats.batch_time_s += time.perf_counter() - batch_start
+        assert all(result is not None for result in results)
+        return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    def _execute_all(
+        self, unique: list[tuple[str, JobSpec]], workers: int
+    ) -> list[tuple[str, JobResult]]:
+        if not unique:
+            return []
+        if workers <= 1 or len(unique) == 1:
+            return [(key, execute_spec(spec, key)) for key, spec in unique]
+        try:
+            return self._execute_pooled(unique, workers)
+        except (OSError, concurrent.futures.BrokenExecutor):
+            # Environments that forbid or kill subprocesses (sandboxes,
+            # OOM reaping) fall back to the deterministic serial path;
+            # execute_spec is pure, so re-running every unique job is safe.
+            return [(key, execute_spec(spec, key)) for key, spec in unique]
+
+    def _execute_pooled(
+        self, unique: list[tuple[str, JobSpec]], workers: int
+    ) -> list[tuple[str, JobResult]]:
+        max_workers = min(workers, len(unique))
+        out: list[tuple[str, JobResult]] = []
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers
+        ) as pool:
+            futures = {
+                pool.submit(execute_spec, spec, key): key
+                for key, spec in unique
+            }
+            for future in concurrent.futures.as_completed(futures):
+                out.append((futures[future], future.result()))
+        # Keep submission order so serial and pooled runs look identical.
+        order = {key: position for position, (key, _) in enumerate(unique)}
+        out.sort(key=lambda item: order[item[0]])
+        return out
+
+
+# ----------------------------------------------------------------------
+# The process-wide default engine
+# ----------------------------------------------------------------------
+_DEFAULT_ENGINE: ExecutionEngine | None = None
+
+
+def default_engine() -> ExecutionEngine:
+    """The process-wide shared engine (created on first use).
+
+    Its in-memory cache is what makes repeated sweep invocations inside
+    one process free; its worker count comes from ``TILT_REPRO_WORKERS``
+    (default: serial).
+    """
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = ExecutionEngine(workers=None)
+    return _DEFAULT_ENGINE
+
+
+def reset_default_engine() -> None:
+    """Drop the shared engine (mainly for tests)."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = None
+
+
+def run_jobs(specs: Sequence[JobSpec], *,
+             workers: int | None = None,
+             engine: ExecutionEngine | None = None) -> list[JobResult]:
+    """Run *specs* on *engine* (default: the shared engine).
+
+    ``workers`` overrides the engine's pool size for this call only, so
+    callers can opt into parallelism without reconfiguring the engine.
+    """
+    chosen = engine if engine is not None else default_engine()
+    return chosen.run(specs, workers=workers)

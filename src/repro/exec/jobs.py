@@ -1,0 +1,158 @@
+"""Declarative job specifications and their results.
+
+A :class:`JobSpec` captures everything that determines an experiment
+outcome — circuit, device, compiler configuration, noise calibration and
+which backend toolchain to run — so that two specs with equal content can
+share one execution.  :func:`spec_key` derives the content hash used for
+deduplication and caching; the ``label`` field is carried through to the
+result but deliberately excluded from the hash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.arch.device import DeviceSpec
+from repro.circuits.circuit import Circuit
+from repro.compiler.metrics import CompileStats
+from repro.compiler.pipeline import CompilerConfig
+from repro.exceptions import ReproError
+from repro.noise.parameters import NoiseParameters
+from repro.sim.result import SimulationResult
+
+#: Backends the engine knows how to drive.
+BACKENDS = ("tilt", "ideal", "qccd")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of experiment work: compile (where applicable) and simulate.
+
+    Attributes
+    ----------
+    circuit:
+        The logical workload.
+    device:
+        Target device model; its concrete type must match *backend*
+        (:class:`~repro.arch.tilt.TiltDevice` for ``"tilt"``, etc.).
+    backend:
+        Toolchain selector: ``"tilt"`` (LinQ compile + TILT simulator),
+        ``"ideal"`` (fully connected reference, no routing) or ``"qccd"``
+        (QCCD compiler + simulator).
+    config:
+        LinQ compiler configuration (``"tilt"`` backend only).
+    noise:
+        Noise calibration; ``None`` means the paper defaults.
+    simulate:
+        When False, only compile (no simulation result).  Ignored by the
+        ``"ideal"`` backend, which has no separate compile stage.
+    label:
+        Free-form tag carried through to :class:`JobResult` (not hashed).
+    """
+
+    circuit: Circuit
+    device: DeviceSpec
+    backend: str = "tilt"
+    config: CompilerConfig | None = None
+    noise: NoiseParameters | None = None
+    simulate: bool = True
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ReproError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one executed (or cache-served) job.
+
+    ``stats`` is ``None`` for the ``"ideal"`` backend (nothing is compiled)
+    and ``simulation`` is ``None`` for compile-only jobs.  ``wall_time_s``
+    is the execution time measured inside the worker; cache hits keep the
+    wall time of the run that originally produced the result.
+    """
+
+    key: str
+    backend: str
+    label: str
+    stats: CompileStats | None
+    simulation: SimulationResult | None
+    wall_time_s: float
+    cache_hit: bool = False
+
+    def with_cache_hit(self, label: str | None = None) -> "JobResult":
+        """A copy marked as served from cache (optionally relabelled)."""
+        return dataclasses.replace(
+            self, cache_hit=True,
+            label=self.label if label is None else label,
+        )
+
+
+def _circuit_payload(circuit: Circuit) -> dict[str, Any]:
+    return {
+        "num_qubits": circuit.num_qubits,
+        "name": circuit.name,
+        "gates": [
+            [gate.name, list(gate.qubits), list(gate.params)]
+            for gate in circuit
+        ],
+    }
+
+
+def _dataclass_payload(value: object | None) -> dict[str, Any] | None:
+    if value is None:
+        return None
+    payload = dataclasses.asdict(value)
+    payload["__type__"] = type(value).__name__
+    return payload
+
+
+def spec_key(spec: JobSpec) -> str:
+    """Content hash of a spec: equal keys imply equal execution outcomes."""
+    payload = {
+        "backend": spec.backend,
+        "circuit": _circuit_payload(spec.circuit),
+        "device": _dataclass_payload(spec.device),
+        "config": _dataclass_payload(spec.config),
+        "noise": _dataclass_payload(spec.noise),
+        "simulate": bool(spec.simulate),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# JSON (de)serialisation of results, for the on-disk cache
+# ----------------------------------------------------------------------
+def result_to_json(result: JobResult) -> dict[str, Any]:
+    """Serialise a result to the plain-JSON form stored in the disk cache."""
+    return {
+        "key": result.key,
+        "backend": result.backend,
+        "stats": dataclasses.asdict(result.stats) if result.stats else None,
+        "simulation": (
+            dataclasses.asdict(result.simulation) if result.simulation else None
+        ),
+        "wall_time_s": result.wall_time_s,
+    }
+
+
+def result_from_json(payload: dict[str, Any]) -> JobResult:
+    """Rebuild a :class:`JobResult` from its disk-cache JSON form."""
+    stats = payload.get("stats")
+    simulation = payload.get("simulation")
+    return JobResult(
+        key=payload["key"],
+        backend=payload["backend"],
+        label="",
+        stats=CompileStats(**stats) if stats else None,
+        simulation=SimulationResult(**simulation) if simulation else None,
+        wall_time_s=float(payload.get("wall_time_s", 0.0)),
+    )

@@ -47,7 +47,25 @@ class TestPipeline:
         stats = result.stats
         assert stats.num_swaps == result.routing.num_swaps
         assert stats.num_moves == result.program.num_moves
-        assert stats.num_gates == stats.num_one_qubit_gates + stats.num_two_qubit_gates
+        num_measures = sum(
+            1 for g in result.routed_circuit if g.name == "measure"
+        )
+        # measures are tracked separately, never as 1q gates, so the
+        # three gate classes always partition num_gates exactly
+        assert stats.num_other_ops == num_measures
+        assert stats.num_gates == (stats.num_one_qubit_gates
+                                   + stats.num_two_qubit_gates
+                                   + stats.num_other_ops)
+
+    def test_stats_consistency_with_barriers_kept(self, tilt16):
+        circuit = bv_workload(16)
+        circuit.barrier(0, 1)
+        config = CompilerConfig(strip_barriers=False, mapper="trivial")
+        stats = LinQCompiler(tilt16, config).compile(circuit).stats
+        # barriers are structural: excluded from every gate-class count
+        assert stats.num_gates == (stats.num_one_qubit_gates
+                                   + stats.num_two_qubit_gates
+                                   + stats.num_other_ops)
         assert stats.total_compile_time_s >= stats.time_swap_s
 
     def test_opposing_ratio_bounds(self, tilt16):

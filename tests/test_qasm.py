@@ -7,6 +7,7 @@ import pytest
 from repro.circuits.circuit import Circuit
 from repro.circuits.qasm import circuit_to_qasm, qasm_to_circuit
 from repro.circuits.random import random_circuit
+from repro.circuits.unitary import allclose_up_to_global_phase, circuit_unitary
 from repro.exceptions import QasmError
 
 
@@ -28,9 +29,11 @@ class TestExport:
         text = Circuit(1).rx(-math.pi, 0).to_qasm()
         assert "rx(-pi)" in text
 
-    def test_xx_emitted_as_rxx(self):
+    def test_xx_emitted_as_equivalent_rxx(self):
+        # xx(theta) = exp(+i theta XX) = rxx(-2 theta): the emitted angle
+        # must be rescaled or the QASM denotes a different unitary.
         text = Circuit(2).xx(math.pi / 4, 0, 1).to_qasm()
-        assert "rxx(pi/4)" in text
+        assert "rxx(-pi/2)" in text
 
     def test_barrier_and_measure_lines(self):
         text = Circuit(2).barrier(0, 1).measure(1).to_qasm()
@@ -84,3 +87,52 @@ class TestImport:
     def test_malicious_angle_rejected(self):
         with pytest.raises(QasmError):
             qasm_to_circuit("qreg q[1];\nrz(__import__) q[0];")
+
+
+class TestRoundTripUnitary:
+    """Round-tripped QASM must denote the same unitary as the source.
+
+    Regression tests for the xx/rxx bug: ``xx(theta)`` used to be emitted
+    as ``rxx(theta)``, which is a different gate
+    (``xx(theta) = exp(+i theta XX) = rxx(-2 theta)``).
+    """
+
+    @pytest.mark.parametrize("theta", [math.pi / 4, -math.pi / 8, 0.37, 2.5])
+    def test_xx_gate_roundtrip_preserves_unitary(self, theta):
+        original = Circuit(2).xx(theta, 0, 1)
+        parsed = qasm_to_circuit(circuit_to_qasm(original))
+        assert allclose_up_to_global_phase(
+            circuit_unitary(parsed), circuit_unitary(original)
+        )
+
+    def test_xx_roundtrip_is_angle_preserving(self):
+        parsed = qasm_to_circuit(circuit_to_qasm(Circuit(2).xx(0.3, 0, 1)))
+        (gate,) = parsed.gates
+        assert gate.name == "rxx"
+        assert gate.params[0] == pytest.approx(-0.6)
+
+    def test_mixed_circuit_with_xx_roundtrip(self):
+        original = (
+            Circuit(3)
+            .h(0).xx(math.pi / 4, 0, 1).rz(0.7, 1)
+            .cx(1, 2).xx(-0.9, 1, 2).rxx(0.4, 0, 2)
+        )
+        parsed = qasm_to_circuit(circuit_to_qasm(original))
+        assert allclose_up_to_global_phase(
+            circuit_unitary(parsed), circuit_unitary(original)
+        )
+
+    def test_random_circuits_roundtrip_preserve_unitary(self):
+        for seed in range(5):
+            original = random_circuit(4, 25, seed=seed)
+            parsed = qasm_to_circuit(circuit_to_qasm(original))
+            assert allclose_up_to_global_phase(
+                circuit_unitary(parsed), circuit_unitary(original)
+            )
+
+    def test_external_rxx_parses_as_rxx(self):
+        parsed = qasm_to_circuit(
+            "qreg q[2];\nrxx(pi/2) q[0],q[1];"
+        )
+        assert parsed.gates[0].name == "rxx"
+        assert parsed.gates[0].params[0] == pytest.approx(math.pi / 2)

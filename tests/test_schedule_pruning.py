@@ -1,0 +1,74 @@
+"""Pruned vs exhaustive tape-scheduler scan equivalence.
+
+The pruned `_best_position` scan (candidates from ready-set extents plus a
+containment upper bound) must choose exactly the segments of the original
+exhaustive Algorithm 2 scan — including the distance and leftmost
+tie-breaks — on the full workload suite and on random routed circuits.
+"""
+
+import pytest
+
+from repro.arch.tilt import TiltDevice
+from repro.circuits.random import random_circuit
+from repro.compiler.decompose import decompose_to_native
+from repro.compiler.schedule import SchedulerConfig, TapeScheduler
+from repro.compiler.swap_linq import LinqSwapInserter
+from repro.workloads.suite import build_workload, standard_suite
+
+WORKLOADS = [spec.name for spec in standard_suite()]
+
+
+def _routed(circuit, device):
+    native = decompose_to_native(circuit.without(["barrier"]))
+    return LinqSwapInserter(device).route(native).circuit
+
+
+def _schedule(routed, device, *, exhaustive, **kwargs):
+    config = SchedulerConfig(exhaustive_scan=exhaustive, **kwargs)
+    return TapeScheduler(device, config).schedule(routed)
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_suite_segments_identical(name):
+    """Same segments as the exhaustive scan on every Table II workload."""
+    circuit = build_workload(name, "small")
+    device = TiltDevice(num_qubits=circuit.num_qubits,
+                        head_size=max(4, circuit.num_qubits // 4))
+    routed = _routed(circuit, device)
+    exhaustive = _schedule(routed, device, exhaustive=True)
+    pruned = _schedule(routed, device, exhaustive=False)
+    assert pruned.segments == exhaustive.segments
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_circuit_segments_identical(seed):
+    device = TiltDevice(num_qubits=12, head_size=4)
+    routed = _routed(random_circuit(12, 60, seed=seed), device)
+    exhaustive = _schedule(routed, device, exhaustive=True)
+    pruned = _schedule(routed, device, exhaustive=False)
+    assert pruned.segments == exhaustive.segments
+
+
+@pytest.mark.parametrize("prefer_near", [True, False])
+def test_tie_break_modes_identical(prefer_near):
+    """Equivalence holds with and without the travel-distance tie-break."""
+    circuit = build_workload("QFT", "small")
+    device = TiltDevice(num_qubits=circuit.num_qubits, head_size=4)
+    routed = _routed(circuit, device)
+    exhaustive = _schedule(routed, device, exhaustive=True,
+                           prefer_near_moves=prefer_near)
+    pruned = _schedule(routed, device, exhaustive=False,
+                       prefer_near_moves=prefer_near)
+    assert pruned.segments == exhaustive.segments
+
+
+def test_initial_position_identical():
+    circuit = build_workload("BV", "small")
+    device = TiltDevice(num_qubits=circuit.num_qubits, head_size=4)
+    routed = _routed(circuit, device)
+    position = device.num_head_positions // 2
+    exhaustive = _schedule(routed, device, exhaustive=True,
+                           initial_position=position)
+    pruned = _schedule(routed, device, exhaustive=False,
+                       initial_position=position)
+    assert pruned.segments == exhaustive.segments
