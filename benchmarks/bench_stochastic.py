@@ -1,0 +1,81 @@
+"""Stochastic-sampling benchmarks: shots/sec, serial vs pooled sharding.
+
+Tracks the throughput of the :mod:`repro.sim.stochastic` subsystem on a
+tier-1 workload and pins the acceptance behaviour of the engine fan-out:
+sharded pooled runs must be bit-identical to the serial pass.  As with the
+engine benchmarks, pool *speedup* is hardware-dependent and therefore
+recorded in ``extra_info`` rather than asserted.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import experiments
+from repro.compiler.pipeline import CompilerConfig
+from repro.exec import ExecutionEngine, JobSpec, run_sampled_job
+from repro.workloads.suite import build_workload
+
+#: Enough shots that sampling (not compilation) dominates the wall time.
+BENCH_SHOTS = 20_000
+
+
+def _spec(scale, noise, shots=BENCH_SHOTS) -> JobSpec:
+    name = "QFT"
+    return JobSpec(
+        circuit=build_workload(name, scale),
+        device=experiments.device_for(scale, name),
+        config=CompilerConfig(),
+        noise=noise,
+        shots=shots,
+        seed=2021,
+        label=f"{name}/stochastic",
+    )
+
+
+def test_serial_shots_per_second(benchmark, scale, noise):
+    """Throughput of one serial shard (the BENCH_* trajectory metric)."""
+    spec = _spec(scale, noise)
+    result = benchmark.pedantic(
+        run_sampled_job, args=(spec,),
+        kwargs={"shards": 1, "engine": ExecutionEngine(workers=1)},
+        iterations=1, rounds=1,
+    )
+    assert result.shot is not None and result.shot.shots == BENCH_SHOTS
+    benchmark.extra_info["shots"] = BENCH_SHOTS
+    benchmark.extra_info["shots_per_second"] = round(
+        BENCH_SHOTS / benchmark.stats.stats.mean
+    )
+    benchmark.extra_info["sampled_success"] = result.shot.success_rate
+    benchmark.extra_info["analytic_success"] = (
+        result.shot.expected_success_rate
+    )
+
+
+def test_pooled_sharding_matches_serial(scale, noise):
+    """4-shard pooled sampling is bit-identical to the serial run."""
+    spec = _spec(scale, noise, shots=4000)
+    serial_start = time.perf_counter()
+    serial = run_sampled_job(spec, shards=1,
+                             engine=ExecutionEngine(workers=1))
+    serial_s = time.perf_counter() - serial_start
+    pooled_start = time.perf_counter()
+    pooled = run_sampled_job(spec, shards=4,
+                             engine=ExecutionEngine(workers=4))
+    pooled_s = time.perf_counter() - pooled_start
+    assert pooled.shot == serial.shot
+    # informational only: pool startup dominates at small shot counts
+    print(f"serial {4000 / serial_s:.0f} shots/s, "
+          f"pooled {4000 / pooled_s:.0f} shots/s")
+
+
+def test_resampling_is_cache_served(scale, noise):
+    """Re-running the same seeded job is free (content-hash cache)."""
+    spec = _spec(scale, noise, shots=2000)
+    engine = ExecutionEngine(workers=1)
+    cold = run_sampled_job(spec, shards=2, engine=engine)
+    engine.stats.reset()
+    warm = run_sampled_job(spec, shards=2, engine=engine)
+    assert warm.shot == cold.shot
+    assert engine.stats.cache_hits == 2
+    assert engine.stats.jobs_executed == 0

@@ -41,7 +41,14 @@ from repro.core import (
     max_swap_len_sweep,
     tilt_vs_qccd_ratios,
 )
-from repro.exec import ExecutionEngine, JobResult, JobSpec, ResultCache, run_jobs
+from repro.exec import (
+    ExecutionEngine,
+    JobResult,
+    JobSpec,
+    ResultCache,
+    run_jobs,
+    run_sampled_job,
+)
 from repro.exceptions import (
     CircuitError,
     CompilationError,
@@ -56,9 +63,11 @@ from repro.noise import NoiseParameters
 from repro.sim import (
     IdealSimulator,
     QccdSimulator,
+    ShotResult,
     SimulationResult,
     StatevectorSimulator,
     TiltSimulator,
+    merge_shot_results,
 )
 from repro.version import __version__
 
@@ -87,6 +96,7 @@ __all__ = [
     "ReproError",
     "RoutingError",
     "SchedulingError",
+    "ShotResult",
     "SimulationError",
     "SimulationResult",
     "StatevectorSimulator",
@@ -102,8 +112,10 @@ __all__ = [
     "core",
     "exec_",
     "max_swap_len_sweep",
+    "merge_shot_results",
     "noise",
     "run_jobs",
+    "run_sampled_job",
     "sim",
     "tilt_vs_qccd_ratios",
     "workloads",

@@ -1,5 +1,10 @@
 """Experiment drivers and reporting for every figure/table of the paper."""
 
+from repro.analysis.convergence import (
+    ConvergenceRow,
+    convergence_study,
+    sampled_figure8,
+)
 from repro.analysis.experiments import (
     Figure6Row,
     Figure7Row,
@@ -18,6 +23,7 @@ from repro.analysis.experiments import (
     table3,
 )
 from repro.analysis.report import (
+    convergence_report,
     figure6_report,
     figure7_report,
     figure8_report,
@@ -28,12 +34,15 @@ from repro.analysis.report import (
 from repro.analysis.tables import format_records, format_table
 
 __all__ = [
+    "ConvergenceRow",
     "Figure6Row",
     "Figure7Row",
     "Table3Row",
     "ablation_lookahead",
     "ablation_mapper",
     "best_max_swap_len",
+    "convergence_report",
+    "convergence_study",
     "figure6",
     "figure6_report",
     "figure7",
@@ -47,6 +56,7 @@ __all__ = [
     "headline_ratios",
     "primary_head_size",
     "resolve_scale",
+    "sampled_figure8",
     "table2",
     "table2_report",
     "table3",

@@ -1,0 +1,182 @@
+"""Sampled-vs-analytic convergence analysis for the stochastic subsystem.
+
+Two studies over the :mod:`repro.sim.stochastic` Monte-Carlo sampler:
+
+* :func:`convergence_study` — for each workload, sample the tilt toolflow
+  at an increasing shot schedule and tabulate the sampled success rate
+  with its 95 % Wilson confidence interval next to the analytic Eq. 4
+  rate.  As shots grow, the interval tightens around the analytic value
+  (the sampler estimates exactly the product-of-fidelities probability,
+  so this is a statistical regression test of the whole plumbing).
+* :func:`sampled_figure8` — the paper's Figure 8 architecture comparison
+  (TILT head sizes, Ideal TI, QCCD candidates) rerun with sampled noise,
+  one confidence-interval row per architecture.
+
+Both studies route through the :mod:`repro.exec` engine, so every
+(workload × shots) or (workload × architecture) cell is one cached,
+poolable job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.analysis import experiments
+from repro.analysis.tables import format_records
+from repro.compiler.pipeline import CompilerConfig
+from repro.exec import ExecutionEngine, JobSpec, run_jobs
+from repro.noise.parameters import NoiseParameters
+from repro.workloads.suite import build_workload, routing_suite
+
+#: Default root seed of the convergence studies (the paper's year, like RCS).
+DEFAULT_SEED = 2021
+
+#: Default shot schedule: one decade per step.
+DEFAULT_SHOT_SCHEDULE = (100, 1000, 10000)
+
+
+@dataclass(frozen=True)
+class ConvergenceRow:
+    """One (workload, architecture, shots) cell of a convergence table."""
+
+    workload: str
+    architecture: str
+    shots: int
+    sampled_success_rate: float
+    ci_low: float
+    ci_high: float
+    analytic_success_rate: float
+    within_ci: bool
+    mean_errors_per_shot: float
+
+
+def _row_from_result(workload: str, result) -> ConvergenceRow:
+    shot = result.shot
+    analytic = result.simulation
+    low, high = shot.confidence_interval
+    return ConvergenceRow(
+        workload=workload,
+        architecture=shot.architecture,
+        shots=shot.shots,
+        sampled_success_rate=shot.success_rate,
+        ci_low=low,
+        ci_high=high,
+        analytic_success_rate=analytic.success_rate,
+        within_ci=shot.agrees_with_analytic(analytic.success_rate),
+        mean_errors_per_shot=shot.mean_errors_per_shot,
+    )
+
+
+def convergence_study(scale: str | None = None,
+                      workloads: tuple[str, ...] | None = None,
+                      shot_schedule: tuple[int, ...] = DEFAULT_SHOT_SCHEDULE,
+                      seed: int = DEFAULT_SEED,
+                      noise_params: NoiseParameters | None = None,
+                      *, workers: int | None = None,
+                      engine: ExecutionEngine | None = None,
+                      ) -> list[ConvergenceRow]:
+    """Sampled-vs-analytic success rate on TILT at growing shot counts.
+
+    Every (workload, shots) pair is one engine job; the whole study is a
+    single batch.
+    """
+    scale = experiments.resolve_scale(scale)
+    params = noise_params or NoiseParameters.paper_defaults()
+    names = workloads or tuple(spec.name for spec in routing_suite())
+    cells: list[str] = []
+    specs: list[JobSpec] = []
+    for name in names:
+        circuit = build_workload(name, scale)
+        device = experiments.device_for(scale, name)
+        for shots in shot_schedule:
+            cells.append(name)
+            specs.append(JobSpec(
+                circuit=circuit, device=device, backend="tilt",
+                config=CompilerConfig(), noise=params,
+                shots=shots, seed=seed,
+                label=f"{name}/shots={shots}",
+            ))
+    results = run_jobs(specs, workers=workers, engine=engine)
+    return [
+        _row_from_result(name, result)
+        for name, result in zip(cells, results)
+    ]
+
+
+def sampled_figure8(scale: str | None = None,
+                    workloads: tuple[str, ...] | None = None,
+                    shots: int = 4096,
+                    seed: int = DEFAULT_SEED,
+                    noise_params: NoiseParameters | None = None,
+                    *, workers: int | None = None,
+                    engine: ExecutionEngine | None = None,
+                    ) -> list[ConvergenceRow]:
+    """Figure 8's architecture comparison rerun with sampled noise.
+
+    Reuses :func:`repro.core.comparison.comparison_specs` for the job
+    set (TILT head sizes, Ideal TI, QCCD trap-capacity candidates) and
+    switches every spec to stochastic sampling, so each architecture row
+    reports a sampled success rate with its confidence interval next to
+    the analytic value.
+    """
+    from repro.core.comparison import comparison_specs
+
+    scale = experiments.resolve_scale(scale)
+    params = noise_params or NoiseParameters.paper_defaults()
+    names = workloads or tuple(
+        spec.name for spec in routing_suite()
+    )
+    cells: list[str] = []
+    specs: list[JobSpec] = []
+    for name in names:
+        circuit = build_workload(name, scale)
+        width = circuit.num_qubits
+        head_sizes = experiments.head_sizes_for(scale, width)
+        if scale == "paper":
+            capacities: tuple[int, ...] = (17, 25, 33)
+        else:
+            capacities = (max(3, width // 4), max(5, width // 2))
+        for spec in comparison_specs(circuit, head_sizes=head_sizes,
+                                     qccd_trap_capacities=capacities,
+                                     noise_params=params):
+            cells.append(name)
+            specs.append(dataclasses.replace(spec, shots=shots, seed=seed))
+    results = run_jobs(specs, workers=workers, engine=engine)
+    return [
+        _row_from_result(name, result)
+        for name, result in zip(cells, results)
+    ]
+
+
+_COLUMNS = [
+    "workload", "architecture", "shots", "sampled_success_rate",
+    "ci_low", "ci_high", "analytic_success_rate", "within_ci",
+    "mean_errors_per_shot",
+]
+
+
+def convergence_report(scale: str | None = None,
+                       shot_schedule: tuple[int, ...] = DEFAULT_SHOT_SCHEDULE,
+                       seed: int = DEFAULT_SEED,
+                       *, workers: int | None = None,
+                       engine: ExecutionEngine | None = None) -> str:
+    """Text tables: shot-schedule convergence plus the sampled Figure 8."""
+    convergence_rows = [
+        dataclasses.asdict(row)
+        for row in convergence_study(scale, shot_schedule=shot_schedule,
+                                     seed=seed, workers=workers,
+                                     engine=engine)
+    ]
+    figure8_rows = [
+        dataclasses.asdict(row)
+        for row in sampled_figure8(scale, shots=max(shot_schedule),
+                                   seed=seed, workers=workers, engine=engine)
+    ]
+    return (
+        "Stochastic convergence — sampled vs analytic success rate "
+        "(95% Wilson CI)\n"
+        + format_records(convergence_rows, _COLUMNS)
+        + "\n\nFigure 8 with sampled noise\n"
+        + format_records(figure8_rows, _COLUMNS)
+    )

@@ -80,6 +80,13 @@ def figure8_report(scale: str | None = None) -> str:
     )
 
 
+def convergence_report(scale: str | None = None) -> str:
+    """Stochastic sampling: sampled-vs-analytic convergence + Figure 8."""
+    from repro.analysis.convergence import convergence_report as build
+
+    return build(scale)
+
+
 def table3_report(scale: str | None = None) -> str:
     """Table III: compilation results."""
     rows = _rows_of(experiments.table3(scale))
@@ -112,8 +119,10 @@ def main(argv: list[str] | None = None) -> int:
                              "'small')")
     parser.add_argument("--section", default="all",
                         choices=("all", "table2", "figure6", "figure7",
-                                 "figure8", "table3"),
-                        help="generate only one section")
+                                 "figure8", "table3", "convergence"),
+                        help="generate only one section ('convergence' is "
+                             "the stochastic-sampling study, not part of "
+                             "'all')")
     args = parser.parse_args(argv)
     builders = {
         "table2": table2_report,
@@ -121,6 +130,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure7": figure7_report,
         "figure8": figure8_report,
         "table3": table3_report,
+        "convergence": convergence_report,
     }
     if args.section == "all":
         print(full_report(args.scale))

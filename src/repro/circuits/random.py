@@ -12,6 +12,7 @@ from typing import Sequence
 
 from repro.circuits.circuit import Circuit
 from repro.circuits.gate import GATE_SPECS
+from repro.exceptions import CircuitError
 
 _ONE_QUBIT_POOL = ("h", "x", "y", "z", "s", "t", "rx", "ry", "rz")
 _TWO_QUBIT_POOL = ("cx", "cz", "cp", "rzz", "swap")
@@ -28,6 +29,7 @@ def random_circuit(
     num_gates: int,
     *,
     seed: int | None = None,
+    rng: random.Random | None = None,
     two_qubit_fraction: float = 0.4,
     one_qubit_pool: Sequence[str] = _ONE_QUBIT_POOL,
     two_qubit_pool: Sequence[str] = _TWO_QUBIT_POOL,
@@ -39,6 +41,12 @@ def random_circuit(
     ----------
     num_qubits, num_gates:
         Register width and total gate count.
+    seed, rng:
+        Source of randomness: pass *rng* to draw from an existing
+        generator (callers sequencing several reproducible circuits
+        share one stream), otherwise a fresh ``random.Random(seed)`` is
+        used.  Passing both is an error — a seed would silently be
+        ignored.
     two_qubit_fraction:
         Probability that each gate is two-qubit (when ``num_qubits >= 2``).
     one_qubit_pool, two_qubit_pool:
@@ -46,7 +54,10 @@ def random_circuit(
     max_span:
         If given, two-qubit gates only join qubits at most this far apart.
     """
-    rng = random.Random(seed)
+    if rng is not None and seed is not None:
+        raise CircuitError("pass either seed= or rng=, not both")
+    if rng is None:
+        rng = random.Random(seed)
     circuit = Circuit(num_qubits, name=f"random_{num_qubits}q")
     for _ in range(num_gates):
         make_two_qubit = num_qubits >= 2 and rng.random() < two_qubit_fraction
@@ -72,6 +83,7 @@ def random_native_circuit(
     num_gates: int,
     *,
     seed: int | None = None,
+    rng: random.Random | None = None,
     two_qubit_fraction: float = 0.4,
     max_span: int | None = None,
 ) -> Circuit:
@@ -80,6 +92,7 @@ def random_native_circuit(
         num_qubits,
         num_gates,
         seed=seed,
+        rng=rng,
         two_qubit_fraction=two_qubit_fraction,
         one_qubit_pool=("rx", "ry", "rz"),
         two_qubit_pool=("xx",),

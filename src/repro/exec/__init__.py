@@ -15,6 +15,11 @@ batches of them through a shared :class:`ExecutionEngine` that
 
 The sweep / comparison / experiment drivers in :mod:`repro.core` and
 :mod:`repro.analysis` are thin wrappers over this engine.
+
+Sampled (Monte-Carlo) jobs add a ``shots=`` / ``seed=`` dimension to the
+spec; :func:`run_sampled_job` cuts one logical run into contiguous shot
+shards that the engine executes — and caches — like any other batch, then
+merges them bit-identically (see :mod:`repro.exec.sampling`).
 """
 
 from repro.exec.cache import ResultCache
@@ -27,6 +32,7 @@ from repro.exec.engine import (
     run_jobs,
 )
 from repro.exec.jobs import JobResult, JobSpec, spec_key
+from repro.exec.sampling import run_sampled_job, shard_sampling_spec
 
 __all__ = [
     "EngineStats",
@@ -38,5 +44,7 @@ __all__ = [
     "execute_spec",
     "reset_default_engine",
     "run_jobs",
+    "run_sampled_job",
+    "shard_sampling_spec",
     "spec_key",
 ]

@@ -12,11 +12,13 @@ input order.  Work proceeds in three steps:
    deterministic serial fallback) or across a
    :class:`concurrent.futures.ProcessPoolExecutor`.
 
-Because compilation is seeded and the noise model is analytic, pooled and
-serial execution produce bit-identical results; the pool only changes
-wall-clock time.  Batch-level counters (cache hits/misses, jobs executed,
-per-job timings) accumulate on the engine for the acceptance checks and
-the progress report.
+Because compilation is seeded, the analytic noise model is closed-form
+and stochastic sampling derives every shot's generator from ``(seed,
+global shot index)``, pooled and serial execution produce bit-identical
+results; the pool only changes wall-clock time.  Batch-level counters
+(cache hits/misses, jobs executed, per-job timings) accumulate on the
+engine for the acceptance checks and the progress report;
+``engine.stats.reset()`` zeroes them between measurement phases.
 """
 
 from __future__ import annotations
@@ -69,26 +71,60 @@ def resolve_workers(workers: int | None) -> int:
 # The worker function (module level so the process pool can pickle it)
 # ----------------------------------------------------------------------
 def execute_spec(spec: JobSpec, key: str | None = None) -> JobResult:
-    """Run one job to completion in the current process."""
+    """Run one job to completion in the current process.
+
+    Specs with ``shots > 0`` additionally run the stochastic shot sampler
+    (:mod:`repro.sim.stochastic`) on top of the analytic simulation; the
+    sampled result lands on :attr:`JobResult.shot`.
+    """
     key = key or spec_key(spec)
     noise = spec.noise or NoiseParameters.paper_defaults()
     start = time.perf_counter()
     stats = None
     simulation = None
+    shot = None
+    # For sampled jobs each simulator's run_stochastic evaluates the
+    # per-gate noise model once and derives the analytic result from that
+    # same pass (shot.analytic), so nothing is computed twice.
     if spec.backend == "tilt":
         config = spec.config or CompilerConfig()
         compiled = LinQCompiler(spec.device, config).compile(spec.circuit)
         stats = compiled.stats
         if spec.simulate:
-            simulation = TiltSimulator(spec.device, noise).run(compiled)
+            simulator = TiltSimulator(spec.device, noise)
+            if spec.shots:
+                shot = simulator.run_stochastic(
+                    compiled, shots=spec.shots, seed=spec.seed,
+                    shot_offset=spec.shot_offset,
+                )
+                simulation = shot.analytic
+            else:
+                simulation = simulator.run(compiled)
     elif spec.backend == "ideal":
-        simulation = IdealSimulator(spec.device, noise).run(spec.circuit)
+        simulator = IdealSimulator(spec.device, noise)
+        if spec.shots:
+            shot = simulator.run_stochastic(
+                spec.circuit, shots=spec.shots, seed=spec.seed,
+                shot_offset=spec.shot_offset,
+            )
+            simulation = shot.analytic
+        else:
+            simulation = simulator.run(spec.circuit)
     elif spec.backend == "qccd":
         program = QccdCompiler(spec.device).compile(spec.circuit)
         if spec.simulate:
-            simulation = QccdSimulator(spec.device, noise).run(
-                program, circuit_name=spec.circuit.name
-            )
+            simulator = QccdSimulator(spec.device, noise)
+            if spec.shots:
+                shot = simulator.run_stochastic(
+                    program, shots=spec.shots, seed=spec.seed,
+                    shot_offset=spec.shot_offset,
+                    circuit_name=spec.circuit.name,
+                )
+                simulation = shot.analytic
+            else:
+                simulation = simulator.run(
+                    program, circuit_name=spec.circuit.name
+                )
     else:  # pragma: no cover - validated by JobSpec.__post_init__
         raise ReproError(f"unknown backend {spec.backend!r}")
     wall_time = time.perf_counter() - start
@@ -98,6 +134,7 @@ def execute_spec(spec: JobSpec, key: str | None = None) -> JobResult:
         label=spec.label,
         stats=stats,
         simulation=simulation,
+        shot=shot,
         wall_time_s=wall_time,
     )
 
@@ -118,6 +155,21 @@ class EngineStats:
     def cache_misses(self) -> int:
         """Specs that had to be executed (submitted minus hits and dupes)."""
         return self.jobs_submitted - self.cache_hits - self.deduplicated
+
+    def reset(self) -> None:
+        """Zero every counter (the cache itself is untouched).
+
+        Lets callers measure phases separately — e.g. a benchmark
+        resetting between its cold and warm passes so each phase reports
+        its own cache-hit/dedup numbers instead of cumulative totals.
+        """
+        self.jobs_submitted = 0
+        self.jobs_executed = 0
+        self.cache_hits = 0
+        self.deduplicated = 0
+        self.execution_time_s = 0.0
+        self.batch_time_s = 0.0
+        self.job_times_s.clear()
 
     def summary(self) -> str:
         return (

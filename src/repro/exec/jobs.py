@@ -23,6 +23,11 @@ from repro.compiler.pipeline import CompilerConfig
 from repro.exceptions import ReproError
 from repro.noise.parameters import NoiseParameters
 from repro.sim.result import SimulationResult
+from repro.sim.stochastic import (
+    ShotResult,
+    shot_result_from_json,
+    shot_result_to_json,
+)
 
 #: Backends the engine knows how to drive.
 BACKENDS = ("tilt", "ideal", "qccd")
@@ -50,6 +55,21 @@ class JobSpec:
     simulate:
         When False, only compile (no simulation result).  Ignored by the
         ``"ideal"`` backend, which has no separate compile stage.
+    shots:
+        When positive, additionally run the stochastic (Monte-Carlo)
+        noise simulation for this many shots; the sampled
+        :class:`~repro.sim.stochastic.ShotResult` lands on
+        :attr:`JobResult.shot`.  ``0`` (the default) keeps the job purely
+        analytic.
+    seed:
+        Root seed of the stochastic run.  Every shot derives its own
+        generator from ``(seed, global shot index)``, so results are
+        bit-identical regardless of worker count or sharding.
+    shot_offset:
+        First global shot index of this job — sampling covers
+        ``[shot_offset, shot_offset + shots)``.  Used by
+        :func:`~repro.exec.sampling.shard_sampling_spec` to fan one
+        logical run out across engine workers.
     label:
         Free-form tag carried through to :class:`JobResult` (not hashed).
     """
@@ -60,12 +80,29 @@ class JobSpec:
     config: CompilerConfig | None = None
     noise: NoiseParameters | None = None
     simulate: bool = True
+    shots: int = 0
+    seed: int = 0
+    shot_offset: int = 0
     label: str = ""
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ReproError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.shots < 0:
+            raise ReproError(f"shots must be >= 0, got {self.shots}")
+        if self.seed < 0:
+            raise ReproError(f"seed must be >= 0, got {self.seed}")
+        if self.shot_offset < 0:
+            raise ReproError(
+                f"shot_offset must be >= 0, got {self.shot_offset}"
+            )
+        if self.shot_offset and not self.shots:
+            raise ReproError("shot_offset is meaningless without shots")
+        if self.shots and not self.simulate:
+            raise ReproError(
+                "shots > 0 needs simulate=True (sampling is simulation)"
             )
 
 
@@ -74,9 +111,11 @@ class JobResult:
     """Outcome of one executed (or cache-served) job.
 
     ``stats`` is ``None`` for the ``"ideal"`` backend (nothing is compiled)
-    and ``simulation`` is ``None`` for compile-only jobs.  ``wall_time_s``
-    is the execution time measured inside the worker; cache hits keep the
-    wall time of the run that originally produced the result.
+    and ``simulation`` is ``None`` for compile-only jobs.  ``shot`` holds
+    the sampled :class:`~repro.sim.stochastic.ShotResult` when the spec
+    requested ``shots > 0``.  ``wall_time_s`` is the execution time
+    measured inside the worker; cache hits keep the wall time of the run
+    that originally produced the result.
     """
 
     key: str
@@ -85,6 +124,7 @@ class JobResult:
     stats: CompileStats | None
     simulation: SimulationResult | None
     wall_time_s: float
+    shot: ShotResult | None = None
     cache_hit: bool = False
 
     def with_cache_hit(self, label: str | None = None) -> "JobResult":
@@ -124,6 +164,14 @@ def spec_key(spec: JobSpec) -> str:
         "noise": _dataclass_payload(spec.noise),
         "simulate": bool(spec.simulate),
     }
+    if spec.shots:
+        # Only sampled jobs hash these knobs, so every purely analytic
+        # key (and any on-disk cache of one) is unchanged.
+        payload["sampling"] = {
+            "shots": spec.shots,
+            "seed": spec.seed,
+            "shot_offset": spec.shot_offset,
+        }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -140,6 +188,7 @@ def result_to_json(result: JobResult) -> dict[str, Any]:
         "simulation": (
             dataclasses.asdict(result.simulation) if result.simulation else None
         ),
+        "shot": shot_result_to_json(result.shot) if result.shot else None,
         "wall_time_s": result.wall_time_s,
     }
 
@@ -148,11 +197,13 @@ def result_from_json(payload: dict[str, Any]) -> JobResult:
     """Rebuild a :class:`JobResult` from its disk-cache JSON form."""
     stats = payload.get("stats")
     simulation = payload.get("simulation")
+    shot = payload.get("shot")
     return JobResult(
         key=payload["key"],
         backend=payload["backend"],
         label="",
         stats=CompileStats(**stats) if stats else None,
         simulation=SimulationResult(**simulation) if simulation else None,
+        shot=shot_result_from_json(shot) if shot else None,
         wall_time_s=float(payload.get("wall_time_s", 0.0)),
     )

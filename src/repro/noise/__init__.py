@@ -1,5 +1,12 @@
-"""Trapped-ion noise model: gate times (Eq. 3), heating, fidelity (Eq. 4)."""
+"""Trapped-ion noise model: gate times (Eq. 3), heating, fidelity (Eq. 4),
+and the stochastic channel interpretation used for shot sampling."""
 
+from repro.noise.channels import (
+    ErrorSite,
+    error_site_for_gate,
+    pauli_gates,
+    sample_pauli_label,
+)
 from repro.noise.fidelity import (
     SuccessRateAccumulator,
     gate_fidelity,
@@ -18,15 +25,19 @@ from repro.noise.parameters import NoiseParameters
 
 __all__ = [
     "ChainHeatingState",
+    "ErrorSite",
     "NoiseParameters",
     "SuccessRateAccumulator",
     "XX_GATES_PER_SWAP",
     "critical_path_time_us",
+    "error_site_for_gate",
     "gate_fidelity",
     "gate_time_us",
     "measurement_fidelity",
     "one_qubit_fidelity",
+    "pauli_gates",
     "quanta_after_moves",
+    "sample_pauli_label",
     "two_qubit_fidelity",
     "two_qubit_gate_time_us",
 ]

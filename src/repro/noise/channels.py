@@ -1,0 +1,135 @@
+"""Stochastic (sampled) interpretation of the analytic fidelity model.
+
+The paper's noise model is analytic: every gate contributes a fidelity and
+the program success rate is their product (Eq. 4).  The shot-based
+Monte-Carlo subsystem (:mod:`repro.sim.stochastic`) reinterprets the same
+numbers as stochastic error channels:
+
+* a unitary gate with fidelity ``F`` *fails* with probability ``1 - F``,
+  and a failure applies a uniformly random non-identity Pauli on the
+  gate's qubits (a depolarizing channel of matching process infidelity);
+* a measurement with readout fidelity ``F`` flips its classical outcome
+  bit with probability ``1 - F``.
+
+Under this interpretation the probability that one shot samples *zero*
+errors is exactly the product of all gate fidelities — the analytic
+success rate — so the sampled success rate converges to the closed-form
+model by construction.  That agreement is what
+:mod:`repro.analysis.convergence` tabulates and the stochastic test-suite
+pins down.
+
+This module holds the channel vocabulary: :class:`ErrorSite` (one
+potential error location with its trigger probability) and the Pauli
+sampling rules.  The per-architecture site extraction lives with each
+simulator, because only the simulator knows the heating state a gate
+runs under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.gate import Gate
+from repro.exceptions import SimulationError
+
+#: Error-site kinds.
+PAULI_1Q = "pauli1"
+PAULI_2Q = "pauli2"
+MEASURE_FLIP = "measure_flip"
+
+#: Non-identity Pauli labels of the single-qubit depolarizing channel.
+PAULI_LABELS_1Q: tuple[str, ...] = ("X", "Y", "Z")
+
+#: The 15 non-identity two-qubit Pauli labels ("IX" means I on the first
+#: operand qubit, X on the second).
+PAULI_LABELS_2Q: tuple[str, ...] = tuple(
+    a + b for a in "IXYZ" for b in "IXYZ" if a + b != "II"
+)
+
+
+@dataclass(frozen=True)
+class ErrorSite:
+    """One potential error location in an executed gate sequence.
+
+    Attributes
+    ----------
+    index:
+        Position of the owning gate in execution order (used to inject
+        sampled Paulis at the right place for counts sampling).
+    kind:
+        ``"pauli1"`` / ``"pauli2"`` for depolarizing noise after a unitary
+        gate, ``"measure_flip"`` for classical readout error.
+    qubits:
+        The qubits the error can act on (the gate's operands).
+    probability:
+        Per-shot trigger probability, ``1 - fidelity`` of the gate under
+        its heating state.
+    """
+
+    index: int
+    kind: str
+    qubits: tuple[int, ...]
+    probability: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in (PAULI_1Q, PAULI_2Q, MEASURE_FLIP):
+            raise SimulationError(f"unknown error-site kind {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise SimulationError(
+                f"error probability {self.probability} outside [0, 1]"
+            )
+
+
+def error_site_for_gate(index: int, gate: Gate,
+                        fidelity: float) -> ErrorSite | None:
+    """The error site of one executed gate, or ``None`` if it cannot fail.
+
+    Barriers and gates with fidelity 1 produce no site (zero-probability
+    sites would only slow the sampler down).
+    """
+    if not 0.0 <= fidelity <= 1.0:
+        raise SimulationError(f"fidelity {fidelity} outside [0, 1]")
+    if gate.name == "barrier" or fidelity >= 1.0:
+        return None
+    if gate.name == "measure":
+        kind = MEASURE_FLIP
+    elif gate.num_qubits == 1:
+        kind = PAULI_1Q
+    elif gate.num_qubits == 2:
+        kind = PAULI_2Q
+    else:
+        raise SimulationError(
+            f"gate {gate.name!r} must be decomposed before stochastic "
+            "noise evaluation"
+        )
+    return ErrorSite(index=index, kind=kind, qubits=gate.qubits,
+                     probability=1.0 - fidelity)
+
+
+def sample_pauli_label(site: ErrorSite, rng) -> str:
+    """Draw the error label for a triggered *site* from its channel.
+
+    *rng* is a :class:`numpy.random.Generator`; exactly one ``integers``
+    draw is consumed for Pauli channels and none for measurement flips,
+    so the per-shot random stream stays reproducible.
+    """
+    if site.kind == PAULI_1Q:
+        return PAULI_LABELS_1Q[int(rng.integers(len(PAULI_LABELS_1Q)))]
+    if site.kind == PAULI_2Q:
+        return PAULI_LABELS_2Q[int(rng.integers(len(PAULI_LABELS_2Q)))]
+    return "FLIP"
+
+
+def pauli_gates(site: ErrorSite, label: str) -> list[Gate]:
+    """The unitary gates that realise a sampled Pauli *label* at *site*.
+
+    Measurement flips are classical (handled on the sampled bit string)
+    and produce no gates.
+    """
+    if site.kind == MEASURE_FLIP:
+        return []
+    gates: list[Gate] = []
+    for qubit, factor in zip(site.qubits, label):
+        if factor != "I":
+            gates.append(Gate(factor.lower(), (qubit,)))
+    return gates

@@ -13,10 +13,16 @@ from repro.arch.ideal import IdealTrappedIonDevice
 from repro.circuits.circuit import Circuit
 from repro.compiler.decompose import decompose_to_native, merge_adjacent_rotations
 from repro.exceptions import SimulationError
+from repro.noise.channels import error_site_for_gate
 from repro.noise.fidelity import SuccessRateAccumulator, gate_fidelity
 from repro.noise.gate_times import gate_time_us
 from repro.noise.parameters import NoiseParameters
 from repro.sim.result import SimulationResult
+from repro.sim.stochastic import (
+    DEFAULT_MAX_RECORDS,
+    ShotResult,
+    StochasticSampler,
+)
 
 
 class IdealSimulator:
@@ -27,17 +33,25 @@ class IdealSimulator:
         self.device = device
         self.params = params or NoiseParameters.paper_defaults()
 
-    def run(self, circuit: Circuit, *,
-            already_native: bool = False) -> SimulationResult:
-        """Estimate success rate and run time of *circuit* on the ideal device."""
+    def _native(self, circuit: Circuit, already_native: bool) -> Circuit:
         if circuit.num_qubits > self.device.num_qubits:
             raise SimulationError(
                 f"circuit needs {circuit.num_qubits} qubits but the device "
                 f"has {self.device.num_qubits}"
             )
-        native = circuit if already_native else merge_adjacent_rotations(
+        return circuit if already_native else merge_adjacent_rotations(
             decompose_to_native(circuit.without(["barrier"]))
         )
+
+    def run(self, circuit: Circuit, *,
+            already_native: bool = False) -> SimulationResult:
+        """Estimate success rate and run time of *circuit* on the ideal device."""
+        return self._result_from_native(
+            circuit.name, self._native(circuit, already_native)
+        )
+
+    def _result_from_native(self, name: str,
+                            native: Circuit) -> SimulationResult:
         accumulator = SuccessRateAccumulator()
         finish_at: dict[int, float] = {}
         total_time = 0.0
@@ -51,7 +65,7 @@ class IdealSimulator:
             total_time = max(total_time, end)
         return SimulationResult(
             architecture="Ideal TI",
-            circuit_name=circuit.name,
+            circuit_name=name,
             success_rate=accumulator.success_rate,
             log10_success_rate=accumulator.log10_success_rate,
             execution_time_us=total_time,
@@ -62,3 +76,36 @@ class IdealSimulator:
             average_gate_fidelity=accumulator.average_gate_fidelity,
             worst_gate_fidelity=accumulator.worst_gate_fidelity,
         )
+
+    def run_stochastic(self, circuit: Circuit, *, shots: int, seed: int = 0,
+                       shot_offset: int = 0, sample_counts: bool = False,
+                       max_records: int = DEFAULT_MAX_RECORDS,
+                       already_native: bool = False,
+                       analytic: SimulationResult | None = None) -> ShotResult:
+        """Monte-Carlo sample the ideal device's (heating-free) noise.
+
+        Same contract as :meth:`TiltSimulator.run_stochastic
+        <repro.sim.tilt_sim.TiltSimulator.run_stochastic>`; every gate
+        sees zero motional quanta, matching :meth:`run`.
+        """
+        native = self._native(circuit, already_native)
+        if analytic is None:
+            analytic = self._result_from_native(circuit.name, native)
+        gates = list(native)
+        sites = []
+        for index, gate in enumerate(gates):
+            fidelity = gate_fidelity(gate, 0.0, self.params)
+            site = error_site_for_gate(index, gate, fidelity)
+            if site is not None:
+                sites.append(site)
+        sampler = StochasticSampler(
+            architecture="Ideal TI",
+            circuit_name=circuit.name,
+            sites=sites,
+            gates=gates,
+            num_qubits=native.num_qubits,
+            analytic=analytic,
+        )
+        return sampler.run(shots, seed=seed, shot_offset=shot_offset,
+                           sample_counts=sample_counts,
+                           max_records=max_records)

@@ -16,18 +16,27 @@ DESIGN.md for the substitution notes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.arch.qccd import QccdDevice
+from repro.circuits.gate import Gate
 from repro.compiler.qccd_compiler import (
     QccdGateEvent,
     QccdProgram,
     QccdShuttleEvent,
 )
 from repro.exceptions import SimulationError
+from repro.noise.channels import error_site_for_gate
 from repro.noise.fidelity import SuccessRateAccumulator, gate_fidelity
 from repro.noise.gate_times import gate_time_us, two_qubit_gate_time_us
 from repro.noise.heating import ChainHeatingState
 from repro.noise.parameters import NoiseParameters
 from repro.sim.result import SimulationResult
+from repro.sim.stochastic import (
+    DEFAULT_MAX_RECORDS,
+    ShotResult,
+    StochasticSampler,
+)
 
 #: Rough durations of QCCD shuttling primitives in microseconds (same order
 #: of magnitude as the timings used by Murali et al.).
@@ -35,6 +44,22 @@ SPLIT_TIME_US = 80.0
 MERGE_TIME_US = 80.0
 SEGMENT_HOP_TIME_US = 100.0
 COOLING_TIME_US = 100.0
+
+
+@dataclass
+class QccdTrace:
+    """Flattened replay of a QCCD program: gates with their fidelities.
+
+    One record per executed gate (in event order) plus the aggregate time
+    and heating state; both the analytic estimator and the stochastic
+    sampler are built from this single replay.
+    """
+
+    gates: list[Gate] = field(default_factory=list)
+    fidelities: list[float] = field(default_factory=list)
+    num_two_qubit: int = 0
+    execution_time_us: float = 0.0
+    final_quanta: dict[str, float] = field(default_factory=dict)
 
 
 class QccdSimulator:
@@ -45,9 +70,8 @@ class QccdSimulator:
         self.device = device
         self.params = params or NoiseParameters.paper_defaults()
 
-    def run(self, program: QccdProgram,
-            *, circuit_name: str = "circuit") -> SimulationResult:
-        """Replay *program*, accumulating heating and gate fidelities."""
+    def trace(self, program: QccdProgram) -> QccdTrace:
+        """Replay *program*, recording per-gate fidelities under heating."""
         if program.device.num_qubits != self.device.num_qubits:
             raise SimulationError("program compiled for a different device")
 
@@ -55,30 +79,25 @@ class QccdSimulator:
             trap: ChainHeatingState(self.params, max(1, len(members)))
             for trap, members in enumerate(self.device.initial_layout())
         }
-        accumulator = SuccessRateAccumulator()
-        total_time = 0.0
-        num_gates = 0
-        num_two_qubit = 0
-
+        trace = QccdTrace()
         for event in program.events:
             if isinstance(event, QccdGateEvent):
-                num_gates += 1
                 chain = chains[event.trap]
                 gate = event.gate
                 if gate.num_qubits == 2:
-                    num_two_qubit += 1
+                    trace.num_two_qubit += 1
                     duration = two_qubit_gate_time_us(
                         max(1, event.distance), self.params
                     )
-                    accumulator.add(
-                        gate_fidelity(gate, chain.quanta, self.params)
-                    )
+                    fidelity = gate_fidelity(gate, chain.quanta, self.params)
                 else:
                     duration = gate_time_us(gate, self.params)
-                    accumulator.add(gate_fidelity(gate, 0.0, self.params))
-                total_time += duration
+                    fidelity = gate_fidelity(gate, 0.0, self.params)
+                trace.gates.append(gate)
+                trace.fidelities.append(fidelity)
+                trace.execution_time_us += duration
             elif isinstance(event, QccdShuttleEvent):
-                total_time += self._shuttle_time_us(event)
+                trace.execution_time_us += self._shuttle_time_us(event)
                 source = chains[event.source_trap]
                 dest = chains[event.dest_trap]
                 source.record_qccd_primitive(event.splits)
@@ -86,26 +105,74 @@ class QccdSimulator:
                 # Sympathetic cooling after the transport settles.
                 source.apply_cooling()
                 dest.apply_cooling()
-                total_time += COOLING_TIME_US
+                trace.execution_time_us += COOLING_TIME_US
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown QCCD event {event!r}")
+        trace.final_quanta = {f"trap_{t}_quanta": chain.quanta
+                              for t, chain in chains.items()}
+        return trace
 
-        final_quanta = {f"trap_{t}_quanta": chain.quanta
-                        for t, chain in chains.items()}
+    def run(self, program: QccdProgram,
+            *, circuit_name: str = "circuit") -> SimulationResult:
+        """Replay *program*, accumulating heating and gate fidelities."""
+        return self._result_from_trace(self.trace(program), program,
+                                       circuit_name)
+
+    def _result_from_trace(self, trace: QccdTrace, program: QccdProgram,
+                           circuit_name: str) -> SimulationResult:
+        accumulator = SuccessRateAccumulator()
+        for fidelity in trace.fidelities:
+            accumulator.add(fidelity)
         return SimulationResult(
             architecture="QCCD",
             circuit_name=circuit_name,
             success_rate=accumulator.success_rate,
             log10_success_rate=accumulator.log10_success_rate,
-            execution_time_us=total_time,
-            num_gates=num_gates,
-            num_two_qubit_gates=num_two_qubit,
+            execution_time_us=trace.execution_time_us,
+            num_gates=len(trace.gates),
+            num_two_qubit_gates=trace.num_two_qubit,
             num_moves=program.num_shuttles,
             move_distance_um=0.0,
             average_gate_fidelity=accumulator.average_gate_fidelity,
             worst_gate_fidelity=accumulator.worst_gate_fidelity,
-            extras=final_quanta,
+            extras=trace.final_quanta,
         )
+
+    def run_stochastic(self, program: QccdProgram,
+                       *, shots: int, seed: int = 0, shot_offset: int = 0,
+                       sample_counts: bool = False,
+                       max_records: int = DEFAULT_MAX_RECORDS,
+                       circuit_name: str = "circuit",
+                       analytic: SimulationResult | None = None) -> ShotResult:
+        """Monte-Carlo sample the program's noise, shot by shot.
+
+        Same contract as :meth:`TiltSimulator.run_stochastic
+        <repro.sim.tilt_sim.TiltSimulator.run_stochastic>`: per-trap
+        heating fidelities become stochastic Pauli channels and every
+        shot draws from its own ``(seed, shot index)`` generator.  Counts
+        sampling uses the program's gates over the physical ion indices.
+        """
+        trace = self.trace(program)
+        if analytic is None:
+            analytic = self._result_from_trace(trace, program, circuit_name)
+        sites = []
+        for index, (gate, fidelity) in enumerate(
+            zip(trace.gates, trace.fidelities)
+        ):
+            site = error_site_for_gate(index, gate, fidelity)
+            if site is not None:
+                sites.append(site)
+        sampler = StochasticSampler(
+            architecture="QCCD",
+            circuit_name=circuit_name,
+            sites=sites,
+            gates=trace.gates,
+            num_qubits=self.device.num_qubits,
+            analytic=analytic,
+        )
+        return sampler.run(shots, seed=seed, shot_offset=shot_offset,
+                           sample_counts=sample_counts,
+                           max_records=max_records)
 
     @staticmethod
     def _shuttle_time_us(event: QccdShuttleEvent) -> float:

@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.exceptions import SimulationError
+
 
 @dataclass(frozen=True)
 class SimulationResult:
@@ -59,8 +61,26 @@ class SimulationResult:
 
         Computed in log space so it stays finite even when both success
         rates underflow ordinary floats.
+
+        Raises
+        ------
+        SimulationError
+            If *other* has a zero or otherwise degenerate (NaN) success
+            rate — the ratio over an impossible run is undefined.
         """
-        return math.pow(10.0, self.log10_success_rate - other.log10_success_rate)
+        denominator = other.log10_success_rate
+        if math.isnan(denominator) or denominator == float("-inf"):
+            raise SimulationError(
+                f"cannot compute a success ratio over "
+                f"{other.architecture!r}/{other.circuit_name!r}: its "
+                f"success rate is zero (log10={denominator})"
+            )
+        if math.isnan(self.log10_success_rate):
+            raise SimulationError("this result's success rate is degenerate")
+        try:
+            return math.pow(10.0, self.log10_success_rate - denominator)
+        except OverflowError:
+            return float("inf")
 
     def summary(self) -> str:
         """One-line human-readable result."""

@@ -1,0 +1,578 @@
+"""Shot-based Monte-Carlo noise simulation.
+
+Where the analytic simulators multiply per-gate fidelities into a single
+scalar, this subsystem *samples* the same model: every potential error
+location (an :class:`~repro.noise.channels.ErrorSite`) triggers
+independently per shot with probability ``1 - fidelity``, a triggered
+unitary site applies a uniformly random non-identity Pauli, and a
+triggered measurement site flips its classical bit.  A shot *succeeds*
+when no site triggers, so the sampled success rate is an unbiased
+estimator of the analytic product-of-fidelities success rate.
+
+Determinism
+-----------
+Every shot owns a private :class:`numpy.random.Generator` seeded from
+``(root seed, global shot index)``.  Results are therefore bit-identical
+no matter how the shots are sharded across
+:class:`~repro.exec.engine.ExecutionEngine` workers: shard ``[offset,
+offset + shots)`` of a 10k-shot run draws exactly the numbers the same
+shots would draw in one serial pass, and
+:func:`merge_shot_results` reassembles the full run.
+
+Counts
+------
+With ``sample_counts=True`` the sampler also produces a measurement
+histogram: error-free shots draw from the ideal distribution (computed
+once on the dense statevector), and each erroneous shot re-simulates the
+circuit with its sampled Paulis injected.  This is only available up to
+:data:`~repro.sim.statevector.MAX_STATEVECTOR_QUBITS` wide circuits;
+success-rate estimation alone has no width limit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import Gate
+from repro.exceptions import SimulationError
+from repro.noise.channels import (
+    MEASURE_FLIP,
+    ErrorSite,
+    pauli_gates,
+    sample_pauli_label,
+)
+from repro.sim.result import SimulationResult
+from repro.sim.statevector import MAX_STATEVECTOR_QUBITS, StatevectorSimulator
+
+#: 97.5 % normal quantile: the z of a two-sided 95 % confidence interval.
+WILSON_Z_95 = 1.959963984540054
+
+#: Default cap on the number of *detailed* per-shot error records kept on a
+#: :class:`ShotResult` (the per-shot error counts are always complete).
+DEFAULT_MAX_RECORDS = 1024
+
+
+def wilson_interval(successes: int, shots: int,
+                    z: float = WILSON_Z_95) -> tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Unlike the normal approximation it stays inside [0, 1] and remains
+    informative at 0 or ``shots`` successes, which is exactly the regime
+    deep circuits live in (success rates far below 1/shots).
+    """
+    if shots <= 0:
+        raise SimulationError("shots must be positive")
+    if not 0 <= successes <= shots:
+        raise SimulationError(
+            f"successes {successes} outside [0, {shots}]"
+        )
+    p_hat = successes / shots
+    z2 = z * z
+    denominator = 1.0 + z2 / shots
+    centre = (p_hat + z2 / (2.0 * shots)) / denominator
+    half_width = (
+        z
+        * math.sqrt(p_hat * (1.0 - p_hat) / shots + z2 / (4.0 * shots * shots))
+        / denominator
+    )
+    low = 0.0 if successes == 0 else max(0.0, centre - half_width)
+    high = 1.0 if successes == shots else min(1.0, centre + half_width)
+    return (low, high)
+
+
+def shot_rng(seed: int, shot_index: int) -> np.random.Generator:
+    """The private random generator of one global shot index.
+
+    Seeding from the ``(root seed, shot index)`` entropy pair is what
+    makes sharded execution bit-identical to a serial run.
+    """
+    if seed < 0 or shot_index < 0:
+        raise SimulationError("seed and shot index must be non-negative")
+    return np.random.default_rng((seed, shot_index))
+
+
+@dataclass(frozen=True)
+class ShotRecord:
+    """The errors sampled in one (erroneous) shot.
+
+    ``errors`` holds ``(gate execution index, Pauli label)`` pairs in the
+    order the errors occurred; the label is ``"FLIP"`` for measurement
+    readout errors.
+    """
+
+    shot: int
+    errors: tuple[tuple[int, str], ...]
+
+    @property
+    def num_errors(self) -> int:
+        return len(self.errors)
+
+
+@dataclass(frozen=True)
+class ShotResult:
+    """Outcome of a sampled-noise run (one shard or a merged whole).
+
+    Attributes
+    ----------
+    architecture, circuit_name:
+        Same labels as the corresponding :class:`SimulationResult`.
+    shots, seed, shot_offset:
+        This result covers global shot indices ``[shot_offset,
+        shot_offset + shots)`` of the run rooted at ``seed``.
+    successes:
+        Number of shots in which no error site triggered.
+    errors_per_shot:
+        Error count of every shot in the range, in shot order (complete —
+        one entry per shot).
+    records:
+        Detailed :class:`ShotRecord` entries for erroneous shots, in shot
+        order, capped at :attr:`max_records` (clean shots carry no
+        record).
+    max_records:
+        The record cap this result was sampled under.
+        :func:`merge_shot_results` re-applies it after concatenating
+        shard records, so a merged run keeps exactly the records a
+        serial pass would have kept.
+    counts:
+        Measurement histogram (bit string, qubit 0 leftmost -> count), or
+        ``None`` when counts sampling was disabled.
+    num_error_sites:
+        How many fallible locations the executed program exposed.
+    expected_success_rate:
+        The analytic product of per-site survival probabilities — the
+        closed-form success rate the sampled estimate converges to.
+    analytic:
+        The corresponding analytic :class:`SimulationResult`, when the
+        producing simulator attached one (interop with every consumer of
+        the analytic pipeline).
+    """
+
+    architecture: str
+    circuit_name: str
+    shots: int
+    seed: int
+    shot_offset: int
+    successes: int
+    errors_per_shot: tuple[int, ...]
+    records: tuple[ShotRecord, ...] = ()
+    max_records: int = DEFAULT_MAX_RECORDS
+    counts: dict[str, int] | None = None
+    num_error_sites: int = 0
+    expected_success_rate: float = 1.0
+    analytic: SimulationResult | None = None
+
+    def __post_init__(self) -> None:
+        if self.shots <= 0:
+            raise SimulationError("a shot result needs at least one shot")
+        if not 0 <= self.successes <= self.shots:
+            raise SimulationError("successes outside [0, shots]")
+        if len(self.errors_per_shot) != self.shots:
+            raise SimulationError(
+                "errors_per_shot must have exactly one entry per shot"
+            )
+        if len(self.records) > self.max_records:
+            raise SimulationError("records exceed the max_records cap")
+
+    # ------------------------------------------------------------------
+    # Estimators
+    # ------------------------------------------------------------------
+    @property
+    def success_rate(self) -> float:
+        """Sampled success probability (successes / shots)."""
+        return self.successes / self.shots
+
+    @property
+    def confidence_interval(self) -> tuple[float, float]:
+        """95 % Wilson confidence interval of the success rate."""
+        return wilson_interval(self.successes, self.shots)
+
+    @property
+    def mean_errors_per_shot(self) -> float:
+        """Average number of sampled errors per shot."""
+        return sum(self.errors_per_shot) / self.shots
+
+    def agrees_with_analytic(self, rate: float | None = None) -> bool:
+        """True when the analytic rate lies inside the 95 % interval.
+
+        *rate* defaults to the attached analytic result's success rate
+        (falling back to :attr:`expected_success_rate`).
+        """
+        if rate is None:
+            rate = (self.analytic.success_rate if self.analytic is not None
+                    else self.expected_success_rate)
+        low, high = self.confidence_interval
+        return low <= rate <= high
+
+    # ------------------------------------------------------------------
+    # Interop with the analytic pipeline
+    # ------------------------------------------------------------------
+    def to_simulation_result(self) -> SimulationResult:
+        """Package the sampled estimate as a :class:`SimulationResult`.
+
+        Structural fields (gate counts, moves, execution time) come from
+        the attached analytic result when present; the success rate is the
+        sampled estimate and ``extras`` carries shots and the confidence
+        interval, so sampled and analytic results flow through the same
+        comparison and reporting code.
+        """
+        rate = self.success_rate
+        low, high = self.confidence_interval
+        extras = {
+            "shots": float(self.shots),
+            "ci_low": low,
+            "ci_high": high,
+            "sampled": 1.0,
+        }
+        if self.analytic is not None:
+            base = self.analytic
+            extras = {**base.extras, **extras}
+            return dataclasses.replace(
+                base,
+                success_rate=rate,
+                log10_success_rate=(
+                    math.log10(rate) if rate > 0 else float("-inf")
+                ),
+                extras=extras,
+            )
+        return SimulationResult(
+            architecture=self.architecture,
+            circuit_name=self.circuit_name,
+            success_rate=rate,
+            log10_success_rate=math.log10(rate) if rate > 0 else float("-inf"),
+            execution_time_us=0.0,
+            num_gates=0,
+            num_two_qubit_gates=0,
+            num_moves=0,
+            move_distance_um=0.0,
+            average_gate_fidelity=0.0,
+            worst_gate_fidelity=0.0,
+            extras=extras,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        low, high = self.confidence_interval
+        return (
+            f"{self.architecture:<16} {self.circuit_name:<8} "
+            f"shots={self.shots} success={self.success_rate:.4f} "
+            f"[{low:.4f}, {high:.4f}] "
+            f"analytic={self.expected_success_rate:.3e} "
+            f"mean_errors={self.mean_errors_per_shot:.2f}"
+        )
+
+
+def merge_shot_results(results: Sequence[ShotResult]) -> ShotResult:
+    """Reassemble contiguous shards into the full run's :class:`ShotResult`.
+
+    Shards must share architecture, circuit, seed and error model, and
+    their shot ranges must tile ``[first offset, first offset + total)``
+    without gaps.  Because every shot is seeded independently, the merge
+    of ``N`` shards is bit-identical to a single serial run.
+    """
+    if not results:
+        raise SimulationError("cannot merge an empty list of shot results")
+    ordered = sorted(results, key=lambda result: result.shot_offset)
+    first = ordered[0]
+    counts: dict[str, int] | None = (
+        {} if all(result.counts is not None for result in ordered) else None
+    )
+    records: list[ShotRecord] = []
+    errors_per_shot: list[int] = []
+    successes = 0
+    next_offset = first.shot_offset
+    for result in ordered:
+        if (result.architecture != first.architecture
+                or result.circuit_name != first.circuit_name
+                or result.seed != first.seed
+                or result.num_error_sites != first.num_error_sites
+                or result.max_records != first.max_records):
+            raise SimulationError(
+                "cannot merge shot results from different runs"
+            )
+        if result.shot_offset != next_offset:
+            raise SimulationError(
+                f"shot shards are not contiguous: expected offset "
+                f"{next_offset}, got {result.shot_offset}"
+            )
+        next_offset += result.shots
+        successes += result.successes
+        errors_per_shot.extend(result.errors_per_shot)
+        records.extend(result.records)
+        if counts is not None and result.counts is not None:
+            for outcome, count in result.counts.items():
+                counts[outcome] = counts.get(outcome, 0) + count
+    return ShotResult(
+        architecture=first.architecture,
+        circuit_name=first.circuit_name,
+        shots=next_offset - first.shot_offset,
+        seed=first.seed,
+        shot_offset=first.shot_offset,
+        successes=successes,
+        errors_per_shot=tuple(errors_per_shot),
+        # shards cap records independently; re-applying the cap to the
+        # concatenation keeps exactly what one serial pass would keep
+        records=tuple(records[:first.max_records]),
+        max_records=first.max_records,
+        counts=counts,
+        num_error_sites=first.num_error_sites,
+        expected_success_rate=first.expected_success_rate,
+        analytic=first.analytic,
+    )
+
+
+@dataclass
+class StochasticSampler:
+    """Monte-Carlo sampler over a fixed list of error sites.
+
+    The producing simulator supplies the executed gate sequence and the
+    error sites derived from its heating-aware fidelities; the sampler is
+    architecture-agnostic from there on.
+
+    Parameters
+    ----------
+    architecture, circuit_name:
+        Labels carried onto the :class:`ShotResult`.
+    sites:
+        The fallible locations of the executed program.
+    gates:
+        The executed gate sequence (dependency-respecting order).  Only
+        needed for counts sampling.
+    num_qubits:
+        Register width of the executed program (counts sampling only).
+    analytic:
+        Optional analytic result to attach to every :class:`ShotResult`.
+    """
+
+    architecture: str
+    circuit_name: str
+    sites: Sequence[ErrorSite]
+    gates: Sequence[Gate] | None = None
+    num_qubits: int | None = None
+    analytic: SimulationResult | None = None
+    max_statevector_qubits: int = MAX_STATEVECTOR_QUBITS
+    _probabilities: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._probabilities = np.array(
+            [site.probability for site in self.sites], dtype=float
+        )
+
+    # ------------------------------------------------------------------
+    # The analytic reference
+    # ------------------------------------------------------------------
+    @property
+    def expected_success_rate(self) -> float:
+        """Product of per-site survival probabilities (the analytic rate)."""
+        log_total = 0.0
+        for probability in self._probabilities:
+            if probability >= 1.0:
+                return 0.0
+            log_total += math.log1p(-probability)
+        return math.exp(log_total)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def run(self, shots: int, *, seed: int = 0, shot_offset: int = 0,
+            sample_counts: bool = False,
+            max_records: int = DEFAULT_MAX_RECORDS) -> ShotResult:
+        """Sample shots ``[shot_offset, shot_offset + shots)``.
+
+        Each shot consumes a fixed, documented draw sequence from its
+        private generator — site uniforms, then one Pauli choice per
+        triggered Pauli site, then (counts mode) one outcome uniform — so
+        results do not depend on how shots are batched.
+        """
+        if shots <= 0:
+            raise SimulationError("shots must be positive")
+        if max_records < 0:
+            raise SimulationError("max_records cannot be negative")
+        ideal_cumulative: np.ndarray | None = None
+        base_circuit: Circuit | None = None
+        if sample_counts:
+            base_circuit = self._counts_circuit()
+            simulator = StatevectorSimulator(self.max_statevector_qubits)
+            ideal_cumulative = np.cumsum(
+                simulator.probabilities(base_circuit)
+            )
+
+        successes = 0
+        errors_per_shot: list[int] = []
+        records: list[ShotRecord] = []
+        counts: dict[str, int] | None = {} if sample_counts else None
+        for local_shot in range(shots):
+            shot = shot_offset + local_shot
+            rng = shot_rng(seed, shot)
+            if len(self._probabilities):
+                uniforms = rng.random(len(self._probabilities))
+                triggered = np.flatnonzero(uniforms < self._probabilities)
+            else:
+                triggered = np.empty(0, dtype=int)
+            errors: list[tuple[int, str]] = []
+            flip_qubits: list[int] = []
+            for position in triggered:
+                site = self.sites[int(position)]
+                label = sample_pauli_label(site, rng)
+                errors.append((site.index, label))
+                if site.kind == MEASURE_FLIP:
+                    flip_qubits.extend(site.qubits)
+            errors_per_shot.append(len(errors))
+            if not errors:
+                successes += 1
+            elif len(records) < max_records:
+                records.append(ShotRecord(shot=shot, errors=tuple(errors)))
+            if counts is not None:
+                outcome = self._sample_outcome(
+                    rng, triggered, errors, flip_qubits,
+                    base_circuit, ideal_cumulative,
+                )
+                counts[outcome] = counts.get(outcome, 0) + 1
+        return ShotResult(
+            architecture=self.architecture,
+            circuit_name=self.circuit_name,
+            shots=shots,
+            seed=seed,
+            shot_offset=shot_offset,
+            successes=successes,
+            errors_per_shot=tuple(errors_per_shot),
+            records=tuple(records),
+            max_records=max_records,
+            counts=counts,
+            num_error_sites=len(self.sites),
+            expected_success_rate=self.expected_success_rate,
+            analytic=self.analytic,
+        )
+
+    # ------------------------------------------------------------------
+    # Counts machinery
+    # ------------------------------------------------------------------
+    def _counts_circuit(self) -> Circuit:
+        if self.gates is None or self.num_qubits is None:
+            raise SimulationError(
+                "counts sampling needs the executed gate sequence; "
+                "construct the sampler with gates= and num_qubits= or "
+                "pass sample_counts=False"
+            )
+        if self.num_qubits > self.max_statevector_qubits:
+            raise SimulationError(
+                f"counts sampling is limited to "
+                f"{self.max_statevector_qubits} qubits, got "
+                f"{self.num_qubits}; success-rate sampling "
+                f"(sample_counts=False) has no width limit"
+            )
+        circuit = Circuit(self.num_qubits, name=self.circuit_name)
+        for gate in self.gates:
+            circuit.append(gate)
+        return circuit
+
+    def _sample_outcome(self, rng: np.random.Generator,
+                        triggered: np.ndarray,
+                        errors: list[tuple[int, str]],
+                        flip_qubits: list[int],
+                        base_circuit: Circuit | None,
+                        ideal_cumulative: np.ndarray | None) -> str:
+        assert base_circuit is not None and ideal_cumulative is not None
+        needs_resim = any(
+            self.sites[int(position)].kind != MEASURE_FLIP
+            for position in triggered
+        )
+        if not needs_resim:
+            cumulative = ideal_cumulative
+        else:
+            perturbed = self._perturbed_circuit(triggered, errors,
+                                                base_circuit)
+            simulator = StatevectorSimulator(self.max_statevector_qubits)
+            cumulative = np.cumsum(simulator.probabilities(perturbed))
+        draw = rng.random()
+        index = int(np.searchsorted(cumulative, draw, side="right"))
+        index = min(index, len(cumulative) - 1)
+        n = base_circuit.num_qubits
+        for qubit in flip_qubits:
+            index ^= 1 << (n - 1 - qubit)
+        return format(index, f"0{n}b")
+
+    def _perturbed_circuit(self, triggered: np.ndarray,
+                           errors: list[tuple[int, str]],
+                           base_circuit: Circuit) -> Circuit:
+        injected: dict[int, list[Gate]] = {}
+        for position, (gate_index, label) in zip(triggered, errors):
+            site = self.sites[int(position)]
+            extra = pauli_gates(site, label)
+            if extra:
+                injected.setdefault(gate_index, []).extend(extra)
+        perturbed = Circuit(base_circuit.num_qubits, name=base_circuit.name)
+        assert self.gates is not None
+        for index, gate in enumerate(self.gates):
+            perturbed.append(gate)
+            for extra in injected.get(index, ()):
+                perturbed.append(extra)
+        return perturbed
+
+
+# ----------------------------------------------------------------------
+# JSON (de)serialisation, used by the execution engine's disk cache
+# ----------------------------------------------------------------------
+def shot_result_to_json(result: ShotResult) -> dict[str, Any]:
+    """Serialise a :class:`ShotResult` to a plain-JSON dict."""
+    return {
+        "architecture": result.architecture,
+        "circuit_name": result.circuit_name,
+        "shots": result.shots,
+        "seed": result.seed,
+        "shot_offset": result.shot_offset,
+        "successes": result.successes,
+        "errors_per_shot": list(result.errors_per_shot),
+        "records": [
+            [record.shot, [list(error) for error in record.errors]]
+            for record in result.records
+        ],
+        "max_records": result.max_records,
+        "counts": result.counts,
+        "num_error_sites": result.num_error_sites,
+        "expected_success_rate": result.expected_success_rate,
+        "analytic": (
+            dataclasses.asdict(result.analytic)
+            if result.analytic is not None else None
+        ),
+    }
+
+
+def shot_result_from_json(payload: dict[str, Any]) -> ShotResult:
+    """Rebuild a :class:`ShotResult` from its JSON form."""
+    analytic = payload.get("analytic")
+    return ShotResult(
+        architecture=payload["architecture"],
+        circuit_name=payload["circuit_name"],
+        shots=int(payload["shots"]),
+        seed=int(payload["seed"]),
+        shot_offset=int(payload.get("shot_offset", 0)),
+        successes=int(payload["successes"]),
+        errors_per_shot=tuple(int(x) for x in payload["errors_per_shot"]),
+        records=tuple(
+            ShotRecord(
+                shot=int(shot),
+                errors=tuple(
+                    (int(index), str(label)) for index, label in errors
+                ),
+            )
+            for shot, errors in payload.get("records", [])
+        ),
+        max_records=int(payload.get("max_records", DEFAULT_MAX_RECORDS)),
+        counts=(
+            {str(k): int(v) for k, v in payload["counts"].items()}
+            if payload.get("counts") is not None else None
+        ),
+        num_error_sites=int(payload.get("num_error_sites", 0)),
+        expected_success_rate=float(
+            payload.get("expected_success_rate", 1.0)
+        ),
+        analytic=(
+            SimulationResult(**analytic) if analytic is not None else None
+        ),
+    )

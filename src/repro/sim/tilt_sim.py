@@ -10,15 +10,25 @@ plus the critical path of gate durations.
 
 from __future__ import annotations
 
+import dataclasses
+from typing import Iterator
+
 from repro.arch.tilt import TiltDevice
+from repro.circuits.gate import Gate
 from repro.compiler.executable import ExecutableProgram
 from repro.compiler.pipeline import CompileResult
 from repro.exceptions import SimulationError
+from repro.noise.channels import error_site_for_gate
 from repro.noise.fidelity import SuccessRateAccumulator, gate_fidelity
 from repro.noise.gate_times import gate_time_us
 from repro.noise.heating import quanta_after_moves
 from repro.noise.parameters import NoiseParameters
 from repro.sim.result import SimulationResult
+from repro.sim.stochastic import (
+    DEFAULT_MAX_RECORDS,
+    ShotResult,
+    StochasticSampler,
+)
 
 
 class TiltSimulator:
@@ -32,9 +42,8 @@ class TiltSimulator:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def run(self, program: ExecutableProgram | CompileResult,
-            *, circuit_name: str | None = None) -> SimulationResult:
-        """Simulate a scheduled program (or a full compile result)."""
+    def _resolve(self, program: ExecutableProgram | CompileResult,
+                 circuit_name: str | None) -> tuple[ExecutableProgram, str]:
         if isinstance(program, CompileResult):
             name = circuit_name or program.source_circuit.name
             program = program.program
@@ -44,12 +53,32 @@ class TiltSimulator:
             raise SimulationError(
                 "program was scheduled for a different chain length"
             )
+        return program, name
 
-        accumulator = SuccessRateAccumulator()
+    def gate_fidelities(
+        self, program: ExecutableProgram
+    ) -> Iterator[tuple[Gate, float]]:
+        """Yield ``(gate, fidelity)`` in execution order under Eq. 4 heating."""
         chain_length = self.device.num_qubits
         for gate, moves_before in program.gates_with_move_counts():
             quanta = quanta_after_moves(moves_before, chain_length, self.params)
-            accumulator.add(gate_fidelity(gate, quanta, self.params))
+            yield gate, gate_fidelity(gate, quanta, self.params)
+
+    def run(self, program: ExecutableProgram | CompileResult,
+            *, circuit_name: str | None = None) -> SimulationResult:
+        """Simulate a scheduled program (or a full compile result)."""
+        program, name = self._resolve(program, circuit_name)
+        return self._result_from_fidelities(
+            program, name,
+            (fidelity for _, fidelity in self.gate_fidelities(program)),
+        )
+
+    def _result_from_fidelities(self, program: ExecutableProgram, name: str,
+                                fidelities) -> SimulationResult:
+        accumulator = SuccessRateAccumulator()
+        chain_length = self.device.num_qubits
+        for fidelity in fidelities:
+            accumulator.add(fidelity)
 
         execution_time = self._execution_time_us(program)
         circuit = program.circuit
@@ -72,6 +101,69 @@ class TiltSimulator:
                 "num_segments": float(len(program.segments)),
             },
         )
+
+    # ------------------------------------------------------------------
+    # Stochastic (shot-based) simulation
+    # ------------------------------------------------------------------
+    def run_stochastic(self, program: ExecutableProgram | CompileResult,
+                       *, shots: int, seed: int = 0, shot_offset: int = 0,
+                       sample_counts: bool = False,
+                       max_records: int = DEFAULT_MAX_RECORDS,
+                       circuit_name: str | None = None,
+                       analytic: SimulationResult | None = None) -> ShotResult:
+        """Monte-Carlo sample the program's Eq. 4 noise, shot by shot.
+
+        Every per-gate fidelity becomes a stochastic Pauli/readout-flip
+        channel (see :mod:`repro.noise.channels`); the returned
+        :class:`ShotResult` carries the counts histogram (when
+        ``sample_counts`` is on), per-shot error records and the Wilson
+        confidence interval of the sampled success rate.  Shots
+        ``[shot_offset, shot_offset + shots)`` of the run rooted at
+        *seed* are drawn, so shards merged with
+        :func:`~repro.sim.stochastic.merge_shot_results` are bit-identical
+        to one serial pass.
+
+        When a :class:`CompileResult` is passed, sampled counts are
+        relabelled back to *logical* qubit order through its final
+        mapping; a bare :class:`ExecutableProgram` (no mapping available)
+        yields counts over the physical (routed) wires.
+        """
+        mapping = (program.final_mapping
+                   if isinstance(program, CompileResult) else None)
+        program, name = self._resolve(program, circuit_name)
+        gates = []
+        sites = []
+        fidelities = []
+        for index, (gate, fidelity) in enumerate(self.gate_fidelities(program)):
+            gates.append(gate)
+            fidelities.append(fidelity)
+            site = error_site_for_gate(index, gate, fidelity)
+            if site is not None:
+                sites.append(site)
+        if analytic is None:
+            analytic = self._result_from_fidelities(program, name, fidelities)
+        sampler = StochasticSampler(
+            architecture=f"TILT head {self.device.head_size}",
+            circuit_name=name,
+            sites=sites,
+            gates=gates,
+            num_qubits=program.circuit.num_qubits,
+            analytic=analytic,
+        )
+        result = sampler.run(shots, seed=seed, shot_offset=shot_offset,
+                             sample_counts=sample_counts,
+                             max_records=max_records)
+        if mapping is not None and result.counts is not None:
+            physical_of = [mapping.physical(logical)
+                           for logical in range(program.circuit.num_qubits)]
+            relabelled: dict[str, int] = {}
+            for bits, count in result.counts.items():
+                logical_bits = "".join(bits[p] for p in physical_of)
+                relabelled[logical_bits] = (
+                    relabelled.get(logical_bits, 0) + count
+                )
+            result = dataclasses.replace(result, counts=relabelled)
+        return result
 
     # ------------------------------------------------------------------
     # Execution time (Eq. 5)

@@ -18,6 +18,9 @@ from repro.exceptions import CircuitError
 
 _SINGLE_QUBIT_CHOICES = ("sx", "sy", "t")
 
+#: Seed of the canonical Table II RCS instance.
+DEFAULT_RCS_SEED = 2021
+
 
 def _grid_shape(num_qubits: int) -> tuple[int, int]:
     """Pick the most square grid (rows x columns) for *num_qubits* qubits."""
@@ -52,7 +55,8 @@ def random_circuit_sampling(
     *,
     rows: int | None = None,
     columns: int | None = None,
-    seed: int = 2021,
+    seed: int | None = None,
+    rng: random.Random | None = None,
     measure: bool = False,
 ) -> Circuit:
     """Build an RCS circuit.
@@ -68,7 +72,12 @@ def random_circuit_sampling(
         Explicit grid shape (must satisfy ``rows * columns == num_qubits``).
     seed:
         Seed for the random single-qubit gate choices (deterministic
-        workload generation).
+        workload generation; defaults to 2021, the Table II instance).
+    rng:
+        Draw from an existing generator instead of ``Random(seed)`` —
+        for callers sequencing several reproducible instances from one
+        stream.  Passing both *seed* and *rng* is an error — the seed
+        would silently be ignored.
     """
     if num_qubits < 2:
         raise CircuitError("RCS needs at least 2 qubits")
@@ -79,7 +88,10 @@ def random_circuit_sampling(
             f"grid {rows}x{columns} does not match {num_qubits} qubits"
         )
     patterns = grid_edge_patterns(rows, columns)
-    rng = random.Random(seed)
+    if rng is not None and seed is not None:
+        raise CircuitError("pass either seed= or rng=, not both")
+    if rng is None:
+        rng = random.Random(DEFAULT_RCS_SEED if seed is None else seed)
 
     circuit = Circuit(num_qubits, name=f"rcs_{num_qubits}q_c{cycles}")
     for q in range(num_qubits):

@@ -181,6 +181,22 @@ class TestExecutionEngine:
         assert result.stats is None
         assert result.simulation.num_moves > 0
 
+    def test_stats_reset_zeroes_counters_but_keeps_cache(self):
+        engine = ExecutionEngine(workers=1)
+        engine.run([_tilt_spec(7), _tilt_spec(6)])
+        assert engine.stats.jobs_executed == 2
+        engine.stats.reset()
+        assert engine.stats.jobs_submitted == 0
+        assert engine.stats.jobs_executed == 0
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.deduplicated == 0
+        assert engine.stats.execution_time_s == 0.0
+        assert engine.stats.job_times_s == []
+        # per-phase accounting: the warm phase reports only its own hits
+        engine.run([_tilt_spec(7), _tilt_spec(6)])
+        assert engine.stats.cache_hits == 2
+        assert engine.stats.jobs_executed == 0
+
     def test_resolve_workers(self, monkeypatch):
         assert resolve_workers(3) == 3
         assert resolve_workers(0) >= 1  # one per CPU

@@ -1,0 +1,70 @@
+"""Determinism regression tests for seeded random-circuit generation."""
+
+import random
+
+import pytest
+
+from repro.circuits.random import random_circuit, random_native_circuit
+from repro.exceptions import CircuitError
+from repro.workloads.rcs import random_circuit_sampling, rcs_workload
+
+
+class TestRandomCircuit:
+    def test_same_seed_same_circuit(self):
+        first = random_circuit(8, 40, seed=123)
+        second = random_circuit(8, 40, seed=123)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert random_circuit(8, 40, seed=1) != random_circuit(8, 40, seed=2)
+
+    def test_rng_matches_equivalent_seed(self):
+        seeded = random_circuit(8, 40, seed=7)
+        from_rng = random_circuit(8, 40, rng=random.Random(7))
+        assert seeded == from_rng
+
+    def test_shared_rng_advances_between_calls(self):
+        rng = random.Random(7)
+        first = random_circuit(8, 40, rng=rng)
+        second = random_circuit(8, 40, rng=rng)
+        assert first != second
+        # ... and the sequenced pair is itself reproducible
+        rng = random.Random(7)
+        assert random_circuit(8, 40, rng=rng) == first
+        assert random_circuit(8, 40, rng=rng) == second
+
+    def test_seed_and_rng_together_rejected(self):
+        with pytest.raises(CircuitError):
+            random_circuit(8, 40, seed=1, rng=random.Random(1))
+
+    def test_native_variant_threads_rng(self):
+        seeded = random_native_circuit(8, 40, seed=9)
+        from_rng = random_native_circuit(8, 40, rng=random.Random(9))
+        assert seeded == from_rng
+        assert all(gate.is_native for gate in seeded)
+
+
+class TestRcsDeterminism:
+    def test_same_seed_same_circuit(self):
+        assert random_circuit_sampling(16, 8, seed=5) == \
+            random_circuit_sampling(16, 8, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert random_circuit_sampling(16, 8, seed=5) != \
+            random_circuit_sampling(16, 8, seed=6)
+
+    def test_rng_matches_equivalent_seed(self):
+        from_rng = random_circuit_sampling(16, 8, rng=random.Random(5))
+        assert from_rng == random_circuit_sampling(16, 8, seed=5)
+
+    def test_seed_and_rng_together_rejected(self):
+        with pytest.raises(CircuitError):
+            random_circuit_sampling(16, 8, seed=999, rng=random.Random(5))
+
+    def test_workload_entry_point_forwards_rng(self):
+        assert rcs_workload(16, 8, rng=random.Random(5)) == \
+            rcs_workload(16, 8, seed=5)
+
+    def test_default_seed_is_stable(self):
+        # The Table II workload must not drift run to run.
+        assert rcs_workload(16, 8) == rcs_workload(16, 8)

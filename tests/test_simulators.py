@@ -70,6 +70,29 @@ class TestTiltSimulator:
         assert result.success_ratio_over(result) == pytest.approx(1.0)
         assert "TILT" in result.summary()
 
+    def test_success_ratio_over_zero_denominator_raises(self, tilt16, noise):
+        import dataclasses
+
+        compiled = compile_for_tilt(qft_workload(16), tilt16)
+        result = TiltSimulator(tilt16, noise).run(compiled)
+        dead = dataclasses.replace(
+            result, success_rate=0.0, log10_success_rate=float("-inf")
+        )
+        with pytest.raises(SimulationError):
+            result.success_ratio_over(dead)
+        with pytest.raises(SimulationError):
+            dead.success_ratio_over(dead)
+        # a zero numerator over a live denominator is fine (ratio 0)
+        assert dead.success_ratio_over(result) == 0.0
+
+    def test_success_ratio_over_extreme_gap_saturates(self, tilt16, noise):
+        import dataclasses
+
+        compiled = compile_for_tilt(qft_workload(16), tilt16)
+        result = TiltSimulator(tilt16, noise).run(compiled)
+        tiny = dataclasses.replace(result, log10_success_rate=-400.0)
+        assert result.success_ratio_over(tiny) == float("inf")
+
 
 class TestIdealSimulator:
     def test_noiseless_success_is_one(self, ideal16, noiseless):
