@@ -1,0 +1,99 @@
+"""Correlated-noise scenario benchmarks.
+
+Tracks the cost of the scenario machinery on top of the PR-1/PR-2 stack:
+the analytic scenario-comparison study (site expansion + the exact burst
+dynamic program for every workload × scenario cell), the throughput of
+correlated-noise stochastic sampling, and the acceptance behaviour that
+baseline scenario keys leave the content-hash cache untouched.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import experiments
+from repro.analysis.scenario_study import (
+    DEFAULT_SCENARIOS,
+    attribution_rows,
+    scenario_comparison,
+)
+from repro.compiler.pipeline import CompilerConfig
+from repro.exec import ExecutionEngine, JobSpec, run_sampled_job, spec_key
+from repro.workloads.suite import build_workload
+
+#: Enough shots that correlated sampling (not compilation) dominates.
+BENCH_SHOTS = 5_000
+
+
+def _spec(scale, noise, scenario=None, shots=0) -> JobSpec:
+    """Build a QFT spec; ``scenario=None`` omits the field entirely."""
+    name = "QFT"
+    kwargs = dict(
+        circuit=build_workload(name, scale),
+        device=experiments.device_for(scale, name),
+        config=CompilerConfig(),
+        noise=noise,
+        shots=shots,
+        seed=2021 if shots else 0,
+        label=f"{name}/{scenario or 'default'}",
+    )
+    if scenario is not None:
+        kwargs["scenario"] = scenario
+    return JobSpec(**kwargs)
+
+
+def test_scenario_study_smoke(benchmark, scale, noise):
+    """The full analytic comparison study (the CI smoke metric)."""
+    rows = benchmark.pedantic(
+        scenario_comparison, args=(scale,),
+        kwargs={"noise_params": noise, "engine": ExecutionEngine(workers=1)},
+        iterations=1, rounds=1,
+    )
+    scenarios = {row.scenario for row in rows}
+    workloads = {row.workload for row in rows}
+    assert scenarios == set(DEFAULT_SCENARIOS)
+    assert len(workloads) >= 3
+    attribution = attribution_rows(rows)
+    combined = [row for row in attribution if "combined" in row.mechanism]
+    benchmark.extra_info["cells"] = len(rows)
+    benchmark.extra_info["max_combined_loss_decades"] = max(
+        row.loss_decades for row in combined
+    )
+
+
+def test_correlated_sampling_shots_per_second(benchmark, scale, noise):
+    """Throughput of worst-case correlated sampling (BENCH_* trajectory)."""
+    spec = _spec(scale, noise, "worst_case", shots=BENCH_SHOTS)
+    result = benchmark.pedantic(
+        run_sampled_job, args=(spec,),
+        kwargs={"shards": 1, "engine": ExecutionEngine(workers=1)},
+        iterations=1, rounds=1,
+    )
+    assert result.shot is not None and result.shot.shots == BENCH_SHOTS
+    assert result.shot.mechanism_counts
+    benchmark.extra_info["shots"] = BENCH_SHOTS
+    benchmark.extra_info["shots_per_second"] = round(
+        BENCH_SHOTS / benchmark.stats.stats.mean
+    )
+    benchmark.extra_info["sampled_success"] = result.shot.success_rate
+    benchmark.extra_info["analytic_success"] = (
+        result.shot.expected_success_rate
+    )
+
+
+def test_baseline_scenario_preserves_cache_keys(scale, noise):
+    """Baseline scenario specs hash identically to pre-scenario specs."""
+    import dataclasses
+
+    explicit = _spec(scale, noise, "baseline")
+    # a spec that never mentions scenarios shares the baseline key
+    assert spec_key(explicit) == spec_key(_spec(scale, noise))
+    assert spec_key(explicit) != spec_key(
+        dataclasses.replace(explicit, scenario="worst_case")
+    )
+    # a warm cache serves the baseline job regardless of how the spec
+    # spells its scenario
+    engine = ExecutionEngine(workers=1)
+    engine.run_one(explicit)
+    engine.stats.reset()
+    again = engine.run_one(_spec(scale, noise, "baseline"))
+    assert again.cache_hit
+    assert engine.stats.jobs_executed == 0

@@ -87,6 +87,13 @@ def convergence_report(scale: str | None = None) -> str:
     return build(scale)
 
 
+def scenarios_report(scale: str | None = None) -> str:
+    """Correlated-noise scenarios: comparison, attribution and figure."""
+    from repro.analysis.scenario_study import scenarios_report as build
+
+    return build(scale)
+
+
 def table3_report(scale: str | None = None) -> str:
     """Table III: compilation results."""
     rows = _rows_of(experiments.table3(scale))
@@ -119,10 +126,12 @@ def main(argv: list[str] | None = None) -> int:
                              "'small')")
     parser.add_argument("--section", default="all",
                         choices=("all", "table2", "figure6", "figure7",
-                                 "figure8", "table3", "convergence"),
+                                 "figure8", "table3", "convergence",
+                                 "scenarios"),
                         help="generate only one section ('convergence' is "
-                             "the stochastic-sampling study, not part of "
-                             "'all')")
+                             "the stochastic-sampling study and 'scenarios' "
+                             "the correlated-noise comparison; neither is "
+                             "part of 'all')")
     args = parser.parse_args(argv)
     builders = {
         "table2": table2_report,
@@ -131,6 +140,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure8": figure8_report,
         "table3": table3_report,
         "convergence": convergence_report,
+        "scenarios": scenarios_report,
     }
     if args.section == "all":
         print(full_report(args.scale))

@@ -83,8 +83,12 @@ class TiltDevice(DeviceSpec):
         """All head positions whose window covers every qubit in *qubits*.
 
         Returns an empty range when the qubits cannot be covered by a single
-        window (i.e. the gate is not executable).
+        window (i.e. the gate is not executable).  An empty qubit tuple (a
+        global barrier constrains no ions) is vacuously covered everywhere,
+        so the full head-position range is returned.
         """
+        if not qubits:
+            return self.head_positions()
         lo, hi = min(qubits), max(qubits)
         if hi - lo > self.max_gate_span:
             return range(0)

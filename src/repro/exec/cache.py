@@ -23,7 +23,11 @@ from typing import Iterator
 from repro.exec.jobs import JobResult, result_from_json, result_to_json
 
 #: Format marker so future layout changes can migrate or invalidate files.
-_CACHE_VERSION = 1
+#: Version 2: the cooling-boundary semantics fix (quanta_after_moves /
+#: pause charging) changed results for cooling-enabled specs without
+#: changing their keys, so caches written under version 1 are discarded
+#: rather than served stale.
+_CACHE_VERSION = 2
 
 
 class ResultCache:
@@ -110,15 +114,26 @@ class ResultCache:
             directory = os.path.dirname(os.path.abspath(self._path))
             os.makedirs(directory, exist_ok=True)
             # Atomic replace so a crashed writer never corrupts the cache.
+            # The temp file (and its descriptor) must be reclaimed on
+            # *any* failure — json.dump can also raise e.g. TypeError on
+            # an unserialisable payload, which the old OSError-only
+            # cleanup leaked.
             fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            replaced = False
             try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                try:
+                    handle = os.fdopen(fd, "w", encoding="utf-8")
+                except Exception:
+                    os.close(fd)
+                    raise
+                with handle:
                     json.dump(payload, handle)
                 os.replace(temp_path, self._path)
-            except OSError:
-                try:
-                    os.unlink(temp_path)
-                except OSError:
-                    pass
-                raise
+                replaced = True
+            finally:
+                if not replaced:
+                    try:
+                        os.unlink(temp_path)
+                    except OSError:
+                        pass
             self._dirty = False

@@ -35,6 +35,7 @@ from repro.exceptions import ReproError
 from repro.exec.cache import ResultCache
 from repro.exec.jobs import JobResult, JobSpec, spec_key
 from repro.noise.parameters import NoiseParameters
+from repro.noise.scenarios import get_scenario
 from repro.sim.ideal_sim import IdealSimulator
 from repro.sim.qccd_sim import QccdSimulator
 from repro.sim.tilt_sim import TiltSimulator
@@ -79,6 +80,7 @@ def execute_spec(spec: JobSpec, key: str | None = None) -> JobResult:
     """
     key = key or spec_key(spec)
     noise = spec.noise or NoiseParameters.paper_defaults()
+    scenario = get_scenario(spec.scenario)
     start = time.perf_counter()
     stats = None
     simulation = None
@@ -95,21 +97,21 @@ def execute_spec(spec: JobSpec, key: str | None = None) -> JobResult:
             if spec.shots:
                 shot = simulator.run_stochastic(
                     compiled, shots=spec.shots, seed=spec.seed,
-                    shot_offset=spec.shot_offset,
+                    shot_offset=spec.shot_offset, scenario=scenario,
                 )
                 simulation = shot.analytic
             else:
-                simulation = simulator.run(compiled)
+                simulation = simulator.run(compiled, scenario=scenario)
     elif spec.backend == "ideal":
         simulator = IdealSimulator(spec.device, noise)
         if spec.shots:
             shot = simulator.run_stochastic(
                 spec.circuit, shots=spec.shots, seed=spec.seed,
-                shot_offset=spec.shot_offset,
+                shot_offset=spec.shot_offset, scenario=scenario,
             )
             simulation = shot.analytic
         else:
-            simulation = simulator.run(spec.circuit)
+            simulation = simulator.run(spec.circuit, scenario=scenario)
     elif spec.backend == "qccd":
         program = QccdCompiler(spec.device).compile(spec.circuit)
         if spec.simulate:
@@ -118,12 +120,13 @@ def execute_spec(spec: JobSpec, key: str | None = None) -> JobResult:
                 shot = simulator.run_stochastic(
                     program, shots=spec.shots, seed=spec.seed,
                     shot_offset=spec.shot_offset,
-                    circuit_name=spec.circuit.name,
+                    circuit_name=spec.circuit.name, scenario=scenario,
                 )
                 simulation = shot.analytic
             else:
                 simulation = simulator.run(
-                    program, circuit_name=spec.circuit.name
+                    program, circuit_name=spec.circuit.name,
+                    scenario=scenario,
                 )
     else:  # pragma: no cover - validated by JobSpec.__post_init__
         raise ReproError(f"unknown backend {spec.backend!r}")

@@ -22,6 +22,7 @@ from repro.compiler.metrics import CompileStats
 from repro.compiler.pipeline import CompilerConfig
 from repro.exceptions import ReproError
 from repro.noise.parameters import NoiseParameters
+from repro.noise.scenarios import get_scenario
 from repro.sim.result import SimulationResult
 from repro.sim.stochastic import (
     ShotResult,
@@ -31,6 +32,9 @@ from repro.sim.stochastic import (
 
 #: Backends the engine knows how to drive.
 BACKENDS = ("tilt", "ideal", "qccd")
+
+#: The scenario name every spec runs under unless told otherwise.
+BASELINE_SCENARIO = "baseline"
 
 
 @dataclass(frozen=True)
@@ -70,6 +74,12 @@ class JobSpec:
         ``[shot_offset, shot_offset + shots)``.  Used by
         :func:`~repro.exec.sampling.shard_sampling_spec` to fan one
         logical run out across engine workers.
+    scenario:
+        Name of a registered correlated-noise scenario
+        (:mod:`repro.noise.scenarios`).  ``"baseline"`` (the default) is
+        the paper's independent-error model and is *not* hashed into the
+        content key, so every pre-existing analytic and sampled cache key
+        is unchanged; non-baseline names are hashed.
     label:
         Free-form tag carried through to :class:`JobResult` (not hashed).
     """
@@ -83,6 +93,7 @@ class JobSpec:
     shots: int = 0
     seed: int = 0
     shot_offset: int = 0
+    scenario: str = BASELINE_SCENARIO
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -90,6 +101,7 @@ class JobSpec:
             raise ReproError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
             )
+        get_scenario(self.scenario)  # unknown names fail at spec creation
         if self.shots < 0:
             raise ReproError(f"shots must be >= 0, got {self.shots}")
         if self.seed < 0:
@@ -103,6 +115,12 @@ class JobSpec:
         if self.shots and not self.simulate:
             raise ReproError(
                 "shots > 0 needs simulate=True (sampling is simulation)"
+            )
+        if self.scenario != BASELINE_SCENARIO and not self.simulate:
+            raise ReproError(
+                "a non-baseline scenario needs simulate=True (scenarios "
+                "only affect simulation, and hashing one into a "
+                "compile-only key would just split the cache)"
             )
 
 
@@ -172,6 +190,13 @@ def spec_key(spec: JobSpec) -> str:
             "seed": spec.seed,
             "shot_offset": spec.shot_offset,
         }
+    if spec.scenario != BASELINE_SCENARIO:
+        # Same reasoning: baseline specs keep their pre-scenario keys
+        # byte for byte, so no existing cache entry is invalidated.  The
+        # *resolved* scenario is hashed (not just its name), so
+        # re-registering a name with different knobs cannot serve stale
+        # results from a persistent cache.
+        payload["scenario"] = _dataclass_payload(get_scenario(spec.scenario))
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

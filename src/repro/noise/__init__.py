@@ -1,11 +1,23 @@
 """Trapped-ion noise model: gate times (Eq. 3), heating, fidelity (Eq. 4),
-and the stochastic channel interpretation used for shot sampling."""
+the stochastic channel interpretation used for shot sampling, and the
+correlated-noise scenario registry (crosstalk / leakage / heating bursts)."""
 
 from repro.noise.channels import (
     ErrorSite,
     error_site_for_gate,
     pauli_gates,
     sample_pauli_label,
+)
+from repro.noise.scenarios import (
+    NoiseScenario,
+    build_scenario_sites,
+    compose_scenarios,
+    expected_log10_success,
+    get_scenario,
+    register_scenario,
+    resolve_scenario,
+    scenario_analytics,
+    scenario_names,
 )
 from repro.noise.fidelity import (
     SuccessRateAccumulator,
@@ -27,17 +39,26 @@ __all__ = [
     "ChainHeatingState",
     "ErrorSite",
     "NoiseParameters",
+    "NoiseScenario",
     "SuccessRateAccumulator",
     "XX_GATES_PER_SWAP",
+    "build_scenario_sites",
+    "compose_scenarios",
     "critical_path_time_us",
     "error_site_for_gate",
+    "expected_log10_success",
     "gate_fidelity",
     "gate_time_us",
+    "get_scenario",
     "measurement_fidelity",
     "one_qubit_fidelity",
     "pauli_gates",
     "quanta_after_moves",
+    "register_scenario",
+    "resolve_scenario",
     "sample_pauli_label",
+    "scenario_analytics",
+    "scenario_names",
     "two_qubit_fidelity",
     "two_qubit_gate_time_us",
 ]

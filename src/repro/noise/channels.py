@@ -37,6 +37,28 @@ PAULI_1Q = "pauli1"
 PAULI_2Q = "pauli2"
 MEASURE_FLIP = "measure_flip"
 
+#: Correlated-noise site kinds (see :mod:`repro.noise.scenarios`): a
+#: depolarizing kick on a spectator ion when an MS gate fires, a qubit
+#: leaving the computational subspace, and a shuttle-induced multi-quanta
+#: burst that scales every later error in its burst-coupling window.
+CROSSTALK = "crosstalk"
+LEAKAGE = "leakage"
+HEATING_BURST = "heating_burst"
+
+#: Every kind a site may carry.
+SITE_KINDS = (PAULI_1Q, PAULI_2Q, MEASURE_FLIP, CROSSTALK, LEAKAGE,
+              HEATING_BURST)
+
+#: Kinds whose trigger is an *error event* (a shot fails iff one of these
+#: triggers).  A heating burst is not itself an error — it only raises the
+#: probability of later ones — so it is deliberately absent.
+ERROR_KINDS = frozenset({PAULI_1Q, PAULI_2Q, MEASURE_FLIP, CROSSTALK,
+                         LEAKAGE})
+
+#: Kinds whose probability a triggered heating burst scales (gate-level
+#: mechanisms; classical readout is unaffected by motional energy).
+BURST_SCALED_KINDS = frozenset({PAULI_1Q, PAULI_2Q, CROSSTALK, LEAKAGE})
+
 #: Non-identity Pauli labels of the single-qubit depolarizing channel.
 PAULI_LABELS_1Q: tuple[str, ...] = ("X", "Y", "Z")
 
@@ -55,24 +77,36 @@ class ErrorSite:
     ----------
     index:
         Position of the owning gate in execution order (used to inject
-        sampled Paulis at the right place for counts sampling).
+        sampled Paulis at the right place for counts sampling).  For
+        ``"heating_burst"`` sites it is the move/transport number instead
+        (bursts own no gate).
     kind:
         ``"pauli1"`` / ``"pauli2"`` for depolarizing noise after a unitary
-        gate, ``"measure_flip"`` for classical readout error.
+        gate, ``"measure_flip"`` for classical readout error,
+        ``"crosstalk"`` for a depolarizing kick on one spectator ion,
+        ``"leakage"`` for one qubit leaving the computational subspace and
+        ``"heating_burst"`` for a shuttle-induced error amplifier.
     qubits:
-        The qubits the error can act on (the gate's operands).
+        The qubits the error can act on (the gate's operands, the
+        spectator ion, or the leaking qubit; empty for bursts).
     probability:
         Per-shot trigger probability, ``1 - fidelity`` of the gate under
-        its heating state.
+        its heating state (or the scenario-derived mechanism rate).
+    window:
+        Burst-coupling window id.  A triggered ``"heating_burst"`` site
+        scales the probability of every *later* burst-scalable site that
+        shares its window (TILT: the stretch between two sympathetic
+        cooling pauses; QCCD: the trap).
     """
 
     index: int
     kind: str
     qubits: tuple[int, ...]
     probability: float
+    window: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in (PAULI_1Q, PAULI_2Q, MEASURE_FLIP):
+        if self.kind not in SITE_KINDS:
             raise SimulationError(f"unknown error-site kind {self.kind!r}")
         if not 0.0 <= self.probability <= 1.0:
             raise SimulationError(
@@ -80,8 +114,8 @@ class ErrorSite:
             )
 
 
-def error_site_for_gate(index: int, gate: Gate,
-                        fidelity: float) -> ErrorSite | None:
+def error_site_for_gate(index: int, gate: Gate, fidelity: float,
+                        window: int = 0) -> ErrorSite | None:
     """The error site of one executed gate, or ``None`` if it cannot fail.
 
     Barriers and gates with fidelity 1 produce no site (zero-probability
@@ -103,31 +137,44 @@ def error_site_for_gate(index: int, gate: Gate,
             "noise evaluation"
         )
     return ErrorSite(index=index, kind=kind, qubits=gate.qubits,
-                     probability=1.0 - fidelity)
+                     probability=1.0 - fidelity, window=window)
 
 
 def sample_pauli_label(site: ErrorSite, rng) -> str:
     """Draw the error label for a triggered *site* from its channel.
 
     *rng* is a :class:`numpy.random.Generator`; exactly one ``integers``
-    draw is consumed for Pauli channels and none for measurement flips,
-    so the per-shot random stream stays reproducible.
+    draw is consumed for Pauli channels (crosstalk kicks included) and
+    none for the classical kinds, so the per-shot random stream stays
+    reproducible.  Crosstalk labels are prefixed ``"XT"`` so per-shot
+    records stay attributable to their mechanism.
     """
     if site.kind == PAULI_1Q:
         return PAULI_LABELS_1Q[int(rng.integers(len(PAULI_LABELS_1Q)))]
     if site.kind == PAULI_2Q:
         return PAULI_LABELS_2Q[int(rng.integers(len(PAULI_LABELS_2Q)))]
+    if site.kind == CROSSTALK:
+        return "XT" + PAULI_LABELS_1Q[int(rng.integers(len(PAULI_LABELS_1Q)))]
+    if site.kind == LEAKAGE:
+        return "LEAK"
+    if site.kind == HEATING_BURST:
+        return "BURST"
     return "FLIP"
 
 
 def pauli_gates(site: ErrorSite, label: str) -> list[Gate]:
     """The unitary gates that realise a sampled Pauli *label* at *site*.
 
-    Measurement flips are classical (handled on the sampled bit string)
-    and produce no gates.
+    Measurement flips are classical (handled on the sampled bit string),
+    leakage is handled structurally (later gates on the leaked qubit are
+    dropped) and bursts only scale probabilities, so none of those
+    produce gates.  Crosstalk kicks strip their ``"XT"`` record prefix
+    and inject the single-qubit Pauli on the spectator.
     """
-    if site.kind == MEASURE_FLIP:
+    if site.kind in (MEASURE_FLIP, LEAKAGE, HEATING_BURST):
         return []
+    if site.kind == CROSSTALK:
+        label = label[-1:]
     gates: list[Gate] = []
     for qubit, factor in zip(site.qubits, label):
         if factor != "I":

@@ -81,8 +81,16 @@ class ChainHeatingState:
         self.chain_length = chain_length
 
     def cooled(self) -> "ChainHeatingState":
-        """Return a copy with the motional energy reset (sympathetic cooling)."""
-        return ChainHeatingState(self.params, self.chain_length, 0.0)
+        """Return a copy with the motional energy reset (sympathetic cooling).
+
+        The event counters (``num_shuttles``/``num_qccd_ops``) are
+        telemetry about what already happened, not motional energy, so
+        cooling carries them over — dropping them would corrupt per-run
+        heating statistics after every cooling event.
+        """
+        return ChainHeatingState(self.params, self.chain_length, 0.0,
+                                 num_shuttles=self.num_shuttles,
+                                 num_qccd_ops=self.num_qccd_ops)
 
 
 def quanta_after_moves(num_moves: int, chain_length: int,
@@ -92,10 +100,18 @@ def quanta_after_moves(num_moves: int, chain_length: int,
     This is the ``m * k`` quantity appearing in Eq. 4 for TILT.  When the
     Section VII sympathetic-cooling extension is enabled
     (``tilt_cooling_interval_moves > 0``), only the moves since the most
-    recent cooling pause contribute.
+    recent cooling pause contribute.  The pause runs *between* the
+    interval-th move and the next one, so a gate executed right after the
+    interval-th move still sees the full ``interval`` moves of heating —
+    ``num_moves`` being an exact positive multiple of the interval maps
+    to ``interval`` effective moves, never to a freshly cooled chain
+    (that would credit cooling that has not happened yet).
     """
     if num_moves < 0:
         raise SimulationError("number of moves cannot be negative")
     interval = params.tilt_cooling_interval_moves
-    effective_moves = num_moves if interval <= 0 else num_moves % interval
+    if interval <= 0 or num_moves == 0:
+        effective_moves = num_moves
+    else:
+        effective_moves = (num_moves - 1) % interval + 1
     return effective_moves * params.shuttle_quanta(chain_length)

@@ -17,6 +17,15 @@ from repro.noise.channels import error_site_for_gate
 from repro.noise.fidelity import SuccessRateAccumulator, gate_fidelity
 from repro.noise.gate_times import gate_time_us
 from repro.noise.parameters import NoiseParameters
+from repro.noise.scenarios import (
+    GatePoint,
+    NoiseScenario,
+    TimelinePoint,
+    build_scenario_sites,
+    chain_spectators,
+    resolve_scenario,
+    scenario_analytics,
+)
 from repro.sim.result import SimulationResult
 from repro.sim.stochastic import (
     DEFAULT_MAX_RECORDS,
@@ -44,11 +53,52 @@ class IdealSimulator:
         )
 
     def run(self, circuit: Circuit, *,
-            already_native: bool = False) -> SimulationResult:
-        """Estimate success rate and run time of *circuit* on the ideal device."""
-        return self._result_from_native(
-            circuit.name, self._native(circuit, already_native)
+            already_native: bool = False,
+            scenario: NoiseScenario | str | None = None) -> SimulationResult:
+        """Estimate success rate and run time of *circuit* on the ideal device.
+
+        The ideal device never shuttles, so heating bursts are inert
+        here; crosstalk (kicks on chain neighbours of each MS gate's
+        operands) and leakage still apply under non-baseline *scenario*
+        values.
+        """
+        scenario = resolve_scenario(scenario)
+        native = self._native(circuit, already_native)
+        result = self._result_from_native(circuit.name, native)
+        if scenario.is_baseline:
+            return result
+        analytics = scenario_analytics(
+            build_scenario_sites(self.scenario_points(native, scenario),
+                                 scenario),
+            scenario,
         )
+        return analytics.apply_to(result)
+
+    def scenario_points(self, native: Circuit,
+                        scenario: NoiseScenario) -> list[TimelinePoint]:
+        """The correlated-noise timeline of a native circuit.
+
+        Every ion has its own laser pair but all ions share one chain, so
+        crosstalk spectators are the chain neighbours of the gate's
+        operands (by index distance); there are no shuttles and hence no
+        burst windows.
+        """
+        want_spectators = scenario.crosstalk_strength > 0.0
+        all_ions = range(native.num_qubits)
+        points: list[TimelinePoint] = []
+        for index, gate in enumerate(native):
+            spectators = ()
+            if want_spectators and gate.num_qubits == 2:
+                spectators = chain_spectators(
+                    gate.qubits, all_ions, scenario.crosstalk_range
+                )
+            points.append(GatePoint(
+                index=index,
+                gate=gate,
+                fidelity=gate_fidelity(gate, 0.0, self.params),
+                spectators=spectators,
+            ))
+        return points
 
     def _result_from_native(self, name: str,
                             native: Circuit) -> SimulationResult:
@@ -81,23 +131,39 @@ class IdealSimulator:
                        shot_offset: int = 0, sample_counts: bool = False,
                        max_records: int = DEFAULT_MAX_RECORDS,
                        already_native: bool = False,
-                       analytic: SimulationResult | None = None) -> ShotResult:
+                       analytic: SimulationResult | None = None,
+                       scenario: NoiseScenario | str | None = None,
+                       ) -> ShotResult:
         """Monte-Carlo sample the ideal device's (heating-free) noise.
 
         Same contract as :meth:`TiltSimulator.run_stochastic
         <repro.sim.tilt_sim.TiltSimulator.run_stochastic>`; every gate
-        sees zero motional quanta, matching :meth:`run`.
+        sees zero motional quanta, matching :meth:`run`.  Non-baseline
+        *scenario* values add crosstalk and leakage sites (bursts are
+        inert — the ideal device never shuttles).
         """
+        scenario = resolve_scenario(scenario)
         native = self._native(circuit, already_native)
-        if analytic is None:
-            analytic = self._result_from_native(circuit.name, native)
         gates = list(native)
-        sites = []
-        for index, gate in enumerate(gates):
-            fidelity = gate_fidelity(gate, 0.0, self.params)
-            site = error_site_for_gate(index, gate, fidelity)
-            if site is not None:
-                sites.append(site)
+        expected_rate = None
+        if scenario.is_baseline:
+            sites = []
+            for index, gate in enumerate(gates):
+                fidelity = gate_fidelity(gate, 0.0, self.params)
+                site = error_site_for_gate(index, gate, fidelity)
+                if site is not None:
+                    sites.append(site)
+            if analytic is None:
+                analytic = self._result_from_native(circuit.name, native)
+        else:
+            sites = build_scenario_sites(
+                self.scenario_points(native, scenario), scenario
+            )
+            analytics = scenario_analytics(sites, scenario)
+            expected_rate = analytics.success_rate
+            if analytic is None:
+                base = self._result_from_native(circuit.name, native)
+                analytic = analytics.apply_to(base)
         sampler = StochasticSampler(
             architecture="Ideal TI",
             circuit_name=circuit.name,
@@ -105,6 +171,8 @@ class IdealSimulator:
             gates=gates,
             num_qubits=native.num_qubits,
             analytic=analytic,
+            burst_multiplier=scenario.burst_error_multiplier,
+            expected_rate=expected_rate,
         )
         return sampler.run(shots, seed=seed, shot_offset=shot_offset,
                            sample_counts=sample_counts,

@@ -31,6 +31,16 @@ from repro.noise.fidelity import SuccessRateAccumulator, gate_fidelity
 from repro.noise.gate_times import gate_time_us, two_qubit_gate_time_us
 from repro.noise.heating import ChainHeatingState
 from repro.noise.parameters import NoiseParameters
+from repro.noise.scenarios import (
+    GatePoint,
+    NoiseScenario,
+    ShuttlePoint,
+    TimelinePoint,
+    build_scenario_sites,
+    chain_spectators,
+    resolve_scenario,
+    scenario_analytics,
+)
 from repro.sim.result import SimulationResult
 from repro.sim.stochastic import (
     DEFAULT_MAX_RECORDS,
@@ -52,7 +62,12 @@ class QccdTrace:
 
     One record per executed gate (in event order) plus the aggregate time
     and heating state; both the analytic estimator and the stochastic
-    sampler are built from this single replay.
+    sampler are built from this single replay.  ``points`` is the
+    correlated-noise timeline (gates with spectators and their trap as
+    burst-coupling window, transports as shuttle points; only
+    materialised when the replay runs under a non-baseline scenario) and
+    ``telemetry`` carries the per-trap heating counters that survive
+    every sympathetic-cooling event.
     """
 
     gates: list[Gate] = field(default_factory=list)
@@ -60,6 +75,8 @@ class QccdTrace:
     num_two_qubit: int = 0
     execution_time_us: float = 0.0
     final_quanta: dict[str, float] = field(default_factory=dict)
+    points: list[TimelinePoint] = field(default_factory=list)
+    telemetry: dict[str, float] = field(default_factory=dict)
 
 
 class QccdSimulator:
@@ -70,16 +87,32 @@ class QccdSimulator:
         self.device = device
         self.params = params or NoiseParameters.paper_defaults()
 
-    def trace(self, program: QccdProgram) -> QccdTrace:
-        """Replay *program*, recording per-gate fidelities under heating."""
+    def trace(self, program: QccdProgram,
+              scenario: NoiseScenario | None = None) -> QccdTrace:
+        """Replay *program*, recording per-gate fidelities under heating.
+
+        The replay also produces the correlated-noise timeline: crosstalk
+        spectators are the other ions sharing the trap at gate time (with
+        their in-chain distance to the nearest operand), the trap index
+        is the burst-coupling window, and every transport is a shuttle
+        point.  QCCD's per-transport sympathetic cooling is *partial*
+        (``qccd_cooling_factor``), so it never clears an active burst —
+        windows span the whole program.
+        """
         if program.device.num_qubits != self.device.num_qubits:
             raise SimulationError("program compiled for a different device")
 
+        members = [list(trap) for trap in self.device.initial_layout()]
         chains = {
-            trap: ChainHeatingState(self.params, max(1, len(members)))
-            for trap, members in enumerate(self.device.initial_layout())
+            trap: ChainHeatingState(self.params, max(1, len(ions)))
+            for trap, ions in enumerate(members)
         }
+        # The timeline is only materialised for correlated scenarios;
+        # baseline replays (every pre-existing study) stay allocation-free.
+        want_points = scenario is not None and not scenario.is_baseline
+        want_spectators = want_points and scenario.crosstalk_strength > 0.0
         trace = QccdTrace()
+        transports = 0
         for event in program.events:
             if isinstance(event, QccdGateEvent):
                 chain = chains[event.trap]
@@ -93,6 +126,20 @@ class QccdSimulator:
                 else:
                     duration = gate_time_us(gate, self.params)
                     fidelity = gate_fidelity(gate, 0.0, self.params)
+                if want_points:
+                    spectators = ()
+                    if want_spectators and gate.num_qubits == 2:
+                        spectators = self._trap_spectators(
+                            members[event.trap], gate.qubits,
+                            scenario.crosstalk_range,
+                        )
+                    trace.points.append(GatePoint(
+                        index=len(trace.gates),
+                        gate=gate,
+                        fidelity=fidelity,
+                        spectators=spectators,
+                        window=event.trap,
+                    ))
                 trace.gates.append(gate)
                 trace.fidelities.append(fidelity)
                 trace.execution_time_us += duration
@@ -106,17 +153,68 @@ class QccdSimulator:
                 source.apply_cooling()
                 dest.apply_cooling()
                 trace.execution_time_us += COOLING_TIME_US
+                # Membership only feeds crosstalk spectator lookup, so
+                # the per-transport maintenance is skipped otherwise.
+                if want_spectators and event.qubit in members[event.source_trap]:
+                    members[event.source_trap].remove(event.qubit)
+                    members[event.dest_trap].append(event.qubit)
+                transports += 1
+                if want_points:
+                    # The deposited burst heats the chain the ion merged
+                    # into.
+                    trace.points.append(ShuttlePoint(move=transports,
+                                                     window=event.dest_trap))
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown QCCD event {event!r}")
         trace.final_quanta = {f"trap_{t}_quanta": chain.quanta
                               for t, chain in chains.items()}
+        trace.telemetry = {
+            f"trap_{t}_qccd_ops": float(chain.num_qccd_ops)
+            for t, chain in chains.items()
+        }
         return trace
 
+    @staticmethod
+    def _trap_spectators(ions: list[int], operands: tuple[int, ...],
+                         max_distance: int) -> tuple[tuple[int, int], ...]:
+        """Spectator ``(ion, distance)`` pairs within one trap's chain.
+
+        Distance is measured along the trap's chain order (the membership
+        list), mirroring how close a spectator physically sits to the MS
+        gate's laser pair: the shared :func:`chain_spectators` filter
+        runs in position space and the positions map back to ion ids.
+        """
+        positions = {ion: position for position, ion in enumerate(ions)}
+        operand_positions = tuple(
+            positions[q] for q in operands if q in positions
+        )
+        if not operand_positions:  # pragma: no cover - defensive
+            return ()
+        pairs = chain_spectators(operand_positions, range(len(ions)),
+                                 max_distance)
+        return tuple(sorted(
+            (ions[position], distance) for position, distance in pairs
+        ))
+
     def run(self, program: QccdProgram,
-            *, circuit_name: str = "circuit") -> SimulationResult:
-        """Replay *program*, accumulating heating and gate fidelities."""
-        return self._result_from_trace(self.trace(program), program,
-                                       circuit_name)
+            *, circuit_name: str = "circuit",
+            scenario: NoiseScenario | str | None = None) -> SimulationResult:
+        """Replay *program*, accumulating heating and gate fidelities.
+
+        Non-baseline *scenario* values adjust the success rate with the
+        exact correlated-noise analytics (crosstalk inside each trap,
+        leakage, per-transport heating bursts) and surface per-mechanism
+        site telemetry in ``extras``.
+        """
+        scenario = resolve_scenario(scenario)
+        trace = self.trace(program, scenario)
+        result = self._result_from_trace(trace, program, circuit_name)
+        if scenario.is_baseline:
+            return result
+        analytics = scenario_analytics(
+            build_scenario_sites(trace.points, scenario), scenario
+        )
+        return analytics.apply_to(result)
 
     def _result_from_trace(self, trace: QccdTrace, program: QccdProgram,
                            circuit_name: str) -> SimulationResult:
@@ -135,7 +233,7 @@ class QccdSimulator:
             move_distance_um=0.0,
             average_gate_fidelity=accumulator.average_gate_fidelity,
             worst_gate_fidelity=accumulator.worst_gate_fidelity,
-            extras=trace.final_quanta,
+            extras={**trace.final_quanta, **trace.telemetry},
         )
 
     def run_stochastic(self, program: QccdProgram,
@@ -143,7 +241,9 @@ class QccdSimulator:
                        sample_counts: bool = False,
                        max_records: int = DEFAULT_MAX_RECORDS,
                        circuit_name: str = "circuit",
-                       analytic: SimulationResult | None = None) -> ShotResult:
+                       analytic: SimulationResult | None = None,
+                       scenario: NoiseScenario | str | None = None,
+                       ) -> ShotResult:
         """Monte-Carlo sample the program's noise, shot by shot.
 
         Same contract as :meth:`TiltSimulator.run_stochastic
@@ -151,17 +251,30 @@ class QccdSimulator:
         heating fidelities become stochastic Pauli channels and every
         shot draws from its own ``(seed, shot index)`` generator.  Counts
         sampling uses the program's gates over the physical ion indices.
+        Non-baseline *scenario* values add in-trap crosstalk, leakage and
+        per-transport heating-burst sites.
         """
-        trace = self.trace(program)
-        if analytic is None:
-            analytic = self._result_from_trace(trace, program, circuit_name)
-        sites = []
-        for index, (gate, fidelity) in enumerate(
-            zip(trace.gates, trace.fidelities)
-        ):
-            site = error_site_for_gate(index, gate, fidelity)
-            if site is not None:
-                sites.append(site)
+        scenario = resolve_scenario(scenario)
+        trace = self.trace(program, scenario)
+        expected_rate = None
+        if scenario.is_baseline:
+            sites = []
+            for index, (gate, fidelity) in enumerate(
+                zip(trace.gates, trace.fidelities)
+            ):
+                site = error_site_for_gate(index, gate, fidelity)
+                if site is not None:
+                    sites.append(site)
+            if analytic is None:
+                analytic = self._result_from_trace(trace, program,
+                                                   circuit_name)
+        else:
+            sites = build_scenario_sites(trace.points, scenario)
+            analytics = scenario_analytics(sites, scenario)
+            expected_rate = analytics.success_rate
+            if analytic is None:
+                base = self._result_from_trace(trace, program, circuit_name)
+                analytic = analytics.apply_to(base)
         sampler = StochasticSampler(
             architecture="QCCD",
             circuit_name=circuit_name,
@@ -169,6 +282,8 @@ class QccdSimulator:
             gates=trace.gates,
             num_qubits=self.device.num_qubits,
             analytic=analytic,
+            burst_multiplier=scenario.burst_error_multiplier,
+            expected_rate=expected_rate,
         )
         return sampler.run(shots, seed=seed, shot_offset=shot_offset,
                            sample_counts=sample_counts,

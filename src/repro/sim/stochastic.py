@@ -42,10 +42,17 @@ from repro.circuits.circuit import Circuit
 from repro.circuits.gate import Gate
 from repro.exceptions import SimulationError
 from repro.noise.channels import (
+    BURST_SCALED_KINDS,
+    CROSSTALK,
+    HEATING_BURST,
+    LEAKAGE,
     MEASURE_FLIP,
     ErrorSite,
     pauli_gates,
     sample_pauli_label,
+)
+from repro.noise.scenarios import (
+    expected_success_rate as correlated_expected_success_rate,
 )
 from repro.sim.result import SimulationResult
 from repro.sim.statevector import MAX_STATEVECTOR_QUBITS, StatevectorSimulator
@@ -151,6 +158,17 @@ class ShotResult:
         The corresponding analytic :class:`SimulationResult`, when the
         producing simulator attached one (interop with every consumer of
         the analytic pipeline).
+    mechanism_counts:
+        Per-run noise telemetry: total triggered events by site kind
+        (``"pauli2"``, ``"crosstalk"``, ``"leakage"``,
+        ``"heating_burst"``, ...) across every shot in the range.  Bursts
+        are counted here even though they are not error events.
+    mechanism_shots:
+        Number of shots in which each site kind *triggered* at least
+        once.  For error kinds this is the empirical per-mechanism
+        shot-loss attribution; ``"heating_burst"`` counts shots where a
+        burst fired, which need not have failed (a burst only raises
+        later error probabilities).
     """
 
     architecture: str
@@ -166,6 +184,8 @@ class ShotResult:
     num_error_sites: int = 0
     expected_success_rate: float = 1.0
     analytic: SimulationResult | None = None
+    mechanism_counts: dict[str, int] | None = None
+    mechanism_shots: dict[str, int] | None = None
 
     def __post_init__(self) -> None:
         if self.shots <= 0:
@@ -229,6 +249,12 @@ class ShotResult:
             "ci_high": high,
             "sampled": 1.0,
         }
+        if self.mechanism_counts:
+            for kind, count in self.mechanism_counts.items():
+                extras[f"errors_{kind}"] = float(count)
+        if self.mechanism_shots:
+            for kind, count in self.mechanism_shots.items():
+                extras[f"shots_with_{kind}"] = float(count)
         if self.analytic is not None:
             base = self.analytic
             extras = {**base.extras, **extras}
@@ -274,6 +300,12 @@ def merge_shot_results(results: Sequence[ShotResult]) -> ShotResult:
     their shot ranges must tile ``[first offset, first offset + total)``
     without gaps.  Because every shot is seeded independently, the merge
     of ``N`` shards is bit-identical to a single serial run.
+
+    Mechanism telemetry merges by summation, but only when *every* shard
+    carries it: a shard served from a pre-telemetry disk cache
+    deserialises with ``mechanism_counts=None``, and summing around a
+    missing shard would fabricate under-counted totals, so the merged
+    telemetry conservatively degrades to ``None`` instead.
     """
     if not results:
         raise SimulationError("cannot merge an empty list of shot results")
@@ -281,6 +313,14 @@ def merge_shot_results(results: Sequence[ShotResult]) -> ShotResult:
     first = ordered[0]
     counts: dict[str, int] | None = (
         {} if all(result.counts is not None for result in ordered) else None
+    )
+    mechanism_counts: dict[str, int] | None = (
+        {} if all(result.mechanism_counts is not None for result in ordered)
+        else None
+    )
+    mechanism_shots: dict[str, int] | None = (
+        {} if all(result.mechanism_shots is not None for result in ordered)
+        else None
     )
     records: list[ShotRecord] = []
     errors_per_shot: list[int] = []
@@ -307,6 +347,12 @@ def merge_shot_results(results: Sequence[ShotResult]) -> ShotResult:
         if counts is not None and result.counts is not None:
             for outcome, count in result.counts.items():
                 counts[outcome] = counts.get(outcome, 0) + count
+        if mechanism_counts is not None and result.mechanism_counts is not None:
+            for kind, count in result.mechanism_counts.items():
+                mechanism_counts[kind] = mechanism_counts.get(kind, 0) + count
+        if mechanism_shots is not None and result.mechanism_shots is not None:
+            for kind, count in result.mechanism_shots.items():
+                mechanism_shots[kind] = mechanism_shots.get(kind, 0) + count
     return ShotResult(
         architecture=first.architecture,
         circuit_name=first.circuit_name,
@@ -323,6 +369,8 @@ def merge_shot_results(results: Sequence[ShotResult]) -> ShotResult:
         num_error_sites=first.num_error_sites,
         expected_success_rate=first.expected_success_rate,
         analytic=first.analytic,
+        mechanism_counts=mechanism_counts,
+        mechanism_shots=mechanism_shots,
     )
 
 
@@ -355,26 +403,57 @@ class StochasticSampler:
     gates: Sequence[Gate] | None = None
     num_qubits: int | None = None
     analytic: SimulationResult | None = None
+    burst_multiplier: float = 1.0
+    #: The producing simulator may pass the closed-form rate it already
+    #: computed (the correlated burst DP is too heavy to run twice).
+    expected_rate: float | None = None
     max_statevector_qubits: int = MAX_STATEVECTOR_QUBITS
     _probabilities: np.ndarray = field(init=False, repr=False)
+    _correlated: bool = field(init=False, repr=False)
+    _expected_success_rate: float = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._probabilities = np.array(
             [site.probability for site in self.sites], dtype=float
         )
+        # Scenario sites (crosstalk/leakage/bursts) switch the per-shot
+        # loop to the correlated path; plain Eq. 4 sites keep the PR-2
+        # fast path and its exact random stream.
+        self._correlated = any(
+            site.kind in (CROSSTALK, LEAKAGE, HEATING_BURST)
+            for site in self.sites
+        )
+        # Computed once: the correlated form runs the per-window burst
+        # DP, which is too heavy to redo on every property access.
+        self._expected_success_rate = self._compute_expected_success_rate()
 
     # ------------------------------------------------------------------
     # The analytic reference
     # ------------------------------------------------------------------
-    @property
-    def expected_success_rate(self) -> float:
-        """Product of per-site survival probabilities (the analytic rate)."""
+    def _compute_expected_success_rate(self) -> float:
+        if self.expected_rate is not None:
+            return self.expected_rate
+        if self._correlated:
+            return correlated_expected_success_rate(
+                self.sites, self.burst_multiplier
+            )
         log_total = 0.0
         for probability in self._probabilities:
             if probability >= 1.0:
                 return 0.0
             log_total += math.log1p(-probability)
         return math.exp(log_total)
+
+    @property
+    def expected_success_rate(self) -> float:
+        """P(no error event) — the analytic rate the sampler converges to.
+
+        Independent sites multiply their survival probabilities; with
+        heating-burst sites present the exact per-window dynamic program
+        of :mod:`repro.noise.scenarios` is used instead, so correlated
+        runs still converge to a closed-form reference.
+        """
+        return self._expected_success_rate
 
     # ------------------------------------------------------------------
     # Sampling
@@ -406,33 +485,56 @@ class StochasticSampler:
         errors_per_shot: list[int] = []
         records: list[ShotRecord] = []
         counts: dict[str, int] | None = {} if sample_counts else None
+        mechanism_counts: dict[str, int] = {}
+        mechanism_shots: dict[str, int] = {}
         for local_shot in range(shots):
             shot = shot_offset + local_shot
             rng = shot_rng(seed, shot)
-            if len(self._probabilities):
-                uniforms = rng.random(len(self._probabilities))
-                triggered = np.flatnonzero(uniforms < self._probabilities)
+            shot_kinds: set[str] = set()
+            if self._correlated:
+                errors, flip_qubits, leaked_at, injections = (
+                    self._sample_correlated_shot(
+                        rng, mechanism_counts, shot_kinds,
+                        want_injections=sample_counts,
+                    )
+                )
             else:
-                triggered = np.empty(0, dtype=int)
-            errors: list[tuple[int, str]] = []
-            flip_qubits: list[int] = []
-            for position in triggered:
-                site = self.sites[int(position)]
-                label = sample_pauli_label(site, rng)
-                errors.append((site.index, label))
-                if site.kind == MEASURE_FLIP:
-                    flip_qubits.extend(site.qubits)
+                if len(self._probabilities):
+                    uniforms = rng.random(len(self._probabilities))
+                    triggered = np.flatnonzero(uniforms < self._probabilities)
+                else:
+                    triggered = np.empty(0, dtype=int)
+                errors = []
+                flip_qubits = []
+                for position in triggered:
+                    site = self.sites[int(position)]
+                    label = sample_pauli_label(site, rng)
+                    errors.append((site.index, label))
+                    shot_kinds.add(site.kind)
+                    mechanism_counts[site.kind] = (
+                        mechanism_counts.get(site.kind, 0) + 1
+                    )
+                    if site.kind == MEASURE_FLIP:
+                        flip_qubits.extend(site.qubits)
             errors_per_shot.append(len(errors))
             if not errors:
                 successes += 1
             elif len(records) < max_records:
                 records.append(ShotRecord(shot=shot, errors=tuple(errors)))
             if counts is not None:
-                outcome = self._sample_outcome(
-                    rng, triggered, errors, flip_qubits,
-                    base_circuit, ideal_cumulative,
-                )
+                if self._correlated:
+                    outcome = self._correlated_outcome(
+                        rng, injections, flip_qubits, leaked_at,
+                        base_circuit, ideal_cumulative,
+                    )
+                else:
+                    outcome = self._sample_outcome(
+                        rng, triggered, errors, flip_qubits,
+                        base_circuit, ideal_cumulative,
+                    )
                 counts[outcome] = counts.get(outcome, 0) + 1
+            for kind in shot_kinds:
+                mechanism_shots[kind] = mechanism_shots.get(kind, 0) + 1
         return ShotResult(
             architecture=self.architecture,
             circuit_name=self.circuit_name,
@@ -447,7 +549,148 @@ class StochasticSampler:
             num_error_sites=len(self.sites),
             expected_success_rate=self.expected_success_rate,
             analytic=self.analytic,
+            mechanism_counts=mechanism_counts,
+            mechanism_shots=mechanism_shots,
         )
+
+    # ------------------------------------------------------------------
+    # Correlated (scenario) sampling
+    # ------------------------------------------------------------------
+    def _sample_correlated_shot(
+        self, rng: np.random.Generator,
+        mechanism_counts: dict[str, int], shot_kinds: set[str],
+        want_injections: bool = False,
+    ) -> tuple[list[tuple[int, str]], list[int], dict[int, int],
+               dict[int, list[Gate]]]:
+        """One shot of the correlated-noise model.
+
+        The draw sequence is fixed and documented: one uniform per site
+        (in site order), then one Pauli choice per triggered Pauli-like
+        site, so sharded runs stay bit-identical to serial ones.  Sites
+        are processed in execution order; a triggered heating burst
+        scales the probability of every later burst-scalable site in its
+        window, and a leaked qubit suppresses every later site whose own
+        qubits touch it (the shot already failed — later gates on the
+        leaked qubit act as identity-with-error).  Crosstalk kicks from a
+        gate with a leaked operand still fire: the laser pulses either
+        way.
+
+        Returns ``(errors, flip_qubits, leaked_at, injections)`` where
+        ``leaked_at`` maps leaked qubit -> gate index of the leak and
+        ``injections`` maps gate index -> Pauli gates for counts
+        re-simulation (only materialised when *want_injections* — i.e.
+        counts mode — asks for it; success-rate shots skip the Gate
+        allocations).
+        """
+        n = len(self._probabilities)
+        uniforms = rng.random(n) if n else np.empty(0)
+        bursts_active: dict[int, int] = {}
+        leaked_at: dict[int, int] = {}
+        errors: list[tuple[int, str]] = []
+        flip_qubits: list[int] = []
+        injections: dict[int, list[Gate]] = {}
+        for position, site in enumerate(self.sites):
+            if site.kind == HEATING_BURST:
+                if uniforms[position] < site.probability:
+                    bursts_active[site.window] = (
+                        bursts_active.get(site.window, 0) + 1
+                    )
+                    shot_kinds.add(HEATING_BURST)
+                    mechanism_counts[HEATING_BURST] = (
+                        mechanism_counts.get(HEATING_BURST, 0) + 1
+                    )
+                continue
+            if leaked_at and any(q in leaked_at for q in site.qubits):
+                continue
+            probability = site.probability
+            if site.kind in BURST_SCALED_KINDS:
+                active = bursts_active.get(site.window, 0)
+                if active:
+                    try:
+                        probability = min(
+                            1.0,
+                            probability * self.burst_multiplier ** active,
+                        )
+                    except OverflowError:
+                        # enough active bursts to overflow a float pow
+                        # saturate exactly like the capped product would
+                        probability = 1.0
+            if uniforms[position] >= probability:
+                continue
+            shot_kinds.add(site.kind)
+            mechanism_counts[site.kind] = (
+                mechanism_counts.get(site.kind, 0) + 1
+            )
+            if site.kind == LEAKAGE:
+                for qubit in site.qubits:
+                    leaked_at.setdefault(qubit, site.index)
+                errors.append((site.index, "LEAK"))
+            elif site.kind == MEASURE_FLIP:
+                errors.append((site.index, "FLIP"))
+                flip_qubits.extend(site.qubits)
+            else:
+                label = sample_pauli_label(site, rng)
+                errors.append((site.index, label))
+                if want_injections:
+                    extra = pauli_gates(site, label)
+                    if extra:
+                        injections.setdefault(site.index, []).extend(extra)
+        return errors, flip_qubits, leaked_at, injections
+
+    def _correlated_outcome(self, rng: np.random.Generator,
+                            injections: dict[int, list[Gate]],
+                            flip_qubits: list[int],
+                            leaked_at: dict[int, int],
+                            base_circuit: Circuit | None,
+                            ideal_cumulative: np.ndarray | None) -> str:
+        """Sample one measurement outcome under the correlated model.
+
+        Gates strictly after a leak that touch the leaked qubit are
+        dropped from the re-simulated circuit, and the leaked qubit's
+        measured bit is replaced by a fair coin flip (one uniform per
+        leaked qubit, in qubit order) after the outcome draw.
+        """
+        assert base_circuit is not None and ideal_cumulative is not None
+        if not injections and not leaked_at:
+            cumulative = ideal_cumulative
+        else:
+            assert self.gates is not None
+            perturbed = Circuit(base_circuit.num_qubits,
+                                name=base_circuit.name)
+            for index, gate in enumerate(self.gates):
+                dropped = any(
+                    leaked_at.get(qubit, index + 1) < index
+                    for qubit in gate.qubits
+                )
+                if not dropped:
+                    perturbed.append(gate)
+                for extra in injections.get(index, ()):
+                    perturbed.append(extra)
+            simulator = StatevectorSimulator(self.max_statevector_qubits)
+            cumulative = np.cumsum(simulator.probabilities(perturbed))
+        n = base_circuit.num_qubits
+        index = self._draw_outcome_index(rng, cumulative, n, flip_qubits)
+        for qubit in sorted(leaked_at):
+            bit = 1 if rng.random() < 0.5 else 0
+            mask = 1 << (n - 1 - qubit)
+            index = (index | mask) if bit else (index & ~mask)
+        return format(index, f"0{n}b")
+
+    @staticmethod
+    def _draw_outcome_index(rng: np.random.Generator,
+                            cumulative: np.ndarray, n: int,
+                            flip_qubits: list[int]) -> int:
+        """One outcome draw with readout flips applied (qubit 0 = MSB).
+
+        Shared by the baseline and correlated counts paths so the draw,
+        clamp and bit-order conventions cannot diverge.
+        """
+        draw = rng.random()
+        index = int(np.searchsorted(cumulative, draw, side="right"))
+        index = min(index, len(cumulative) - 1)
+        for qubit in flip_qubits:
+            index ^= 1 << (n - 1 - qubit)
+        return index
 
     # ------------------------------------------------------------------
     # Counts machinery
@@ -489,12 +732,8 @@ class StochasticSampler:
                                                 base_circuit)
             simulator = StatevectorSimulator(self.max_statevector_qubits)
             cumulative = np.cumsum(simulator.probabilities(perturbed))
-        draw = rng.random()
-        index = int(np.searchsorted(cumulative, draw, side="right"))
-        index = min(index, len(cumulative) - 1)
         n = base_circuit.num_qubits
-        for qubit in flip_qubits:
-            index ^= 1 << (n - 1 - qubit)
+        index = self._draw_outcome_index(rng, cumulative, n, flip_qubits)
         return format(index, f"0{n}b")
 
     def _perturbed_circuit(self, triggered: np.ndarray,
@@ -540,6 +779,8 @@ def shot_result_to_json(result: ShotResult) -> dict[str, Any]:
             dataclasses.asdict(result.analytic)
             if result.analytic is not None else None
         ),
+        "mechanism_counts": result.mechanism_counts,
+        "mechanism_shots": result.mechanism_shots,
     }
 
 
@@ -574,5 +815,13 @@ def shot_result_from_json(payload: dict[str, Any]) -> ShotResult:
         ),
         analytic=(
             SimulationResult(**analytic) if analytic is not None else None
+        ),
+        mechanism_counts=(
+            {str(k): int(v) for k, v in payload["mechanism_counts"].items()}
+            if payload.get("mechanism_counts") is not None else None
+        ),
+        mechanism_shots=(
+            {str(k): int(v) for k, v in payload["mechanism_shots"].items()}
+            if payload.get("mechanism_shots") is not None else None
         ),
     )

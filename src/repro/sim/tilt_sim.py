@@ -23,6 +23,16 @@ from repro.noise.fidelity import SuccessRateAccumulator, gate_fidelity
 from repro.noise.gate_times import gate_time_us
 from repro.noise.heating import quanta_after_moves
 from repro.noise.parameters import NoiseParameters
+from repro.noise.scenarios import (
+    GatePoint,
+    NoiseScenario,
+    ShuttlePoint,
+    TimelinePoint,
+    build_scenario_sites,
+    chain_spectators,
+    resolve_scenario,
+    scenario_analytics,
+)
 from repro.sim.result import SimulationResult
 from repro.sim.stochastic import (
     DEFAULT_MAX_RECORDS,
@@ -65,13 +75,85 @@ class TiltSimulator:
             yield gate, gate_fidelity(gate, quanta, self.params)
 
     def run(self, program: ExecutableProgram | CompileResult,
-            *, circuit_name: str | None = None) -> SimulationResult:
-        """Simulate a scheduled program (or a full compile result)."""
+            *, circuit_name: str | None = None,
+            scenario: NoiseScenario | str | None = None) -> SimulationResult:
+        """Simulate a scheduled program (or a full compile result).
+
+        *scenario* selects a correlated-noise scenario (a registered name
+        or a :class:`~repro.noise.scenarios.NoiseScenario`); ``None`` or
+        ``"baseline"`` reproduces the paper's independent-error model
+        exactly.  Non-baseline scenarios adjust the success rate with the
+        exact correlated-noise analytics and surface per-mechanism site
+        telemetry in ``extras``.
+        """
         program, name = self._resolve(program, circuit_name)
-        return self._result_from_fidelities(
+        scenario = resolve_scenario(scenario)
+        if scenario.is_baseline:
+            return self._result_from_fidelities(
+                program, name,
+                (fidelity for _, fidelity in self.gate_fidelities(program)),
+            )
+        points = self.scenario_points(program, scenario)
+        base = self._result_from_fidelities(
             program, name,
-            (fidelity for _, fidelity in self.gate_fidelities(program)),
+            (point.fidelity for point in points
+             if isinstance(point, GatePoint)),
         )
+        analytics = scenario_analytics(
+            build_scenario_sites(points, scenario), scenario
+        )
+        return analytics.apply_to(base)
+
+    # ------------------------------------------------------------------
+    # Correlated-noise timeline
+    # ------------------------------------------------------------------
+    def scenario_points(self, program: ExecutableProgram,
+                        scenario: NoiseScenario) -> list[TimelinePoint]:
+        """The execution timeline the scenario machinery consumes.
+
+        Gates carry their Eq. 4 fidelity, the spectator ions currently
+        under the laser head (crosstalk targets) and their burst-coupling
+        window; every tape move between segments is a
+        :class:`ShuttlePoint`.  Windows follow the sympathetic-cooling
+        intervals: moves ``1..interval`` share window 0, and so on — with
+        cooling disabled the whole program is one window, so a burst
+        persists to the end (Section II-B's unbounded tape heating).
+        """
+        interval = self.params.tilt_cooling_interval_moves
+        chain_length = self.device.num_qubits
+
+        def window_of(move: int) -> int:
+            if interval <= 0 or move <= 0:
+                return 0
+            return (move - 1) // interval
+
+        want_spectators = scenario.crosstalk_strength > 0.0
+        points: list[TimelinePoint] = []
+        gate_index = 0
+        for segment_index, segment in enumerate(program.segments):
+            if segment_index > 0:
+                points.append(ShuttlePoint(move=segment_index,
+                                           window=window_of(segment_index)))
+            quanta = quanta_after_moves(segment_index, chain_length,
+                                        self.params)
+            window = window_of(segment_index)
+            head_ions = self.device.window(segment.position)
+            for index_in_circuit in segment.gate_indices:
+                gate = program.circuit[index_in_circuit]
+                spectators = ()
+                if want_spectators and gate.num_qubits == 2:
+                    spectators = chain_spectators(
+                        gate.qubits, head_ions, scenario.crosstalk_range
+                    )
+                points.append(GatePoint(
+                    index=gate_index,
+                    gate=gate,
+                    fidelity=gate_fidelity(gate, quanta, self.params),
+                    spectators=spectators,
+                    window=window,
+                ))
+                gate_index += 1
+        return points
 
     def _result_from_fidelities(self, program: ExecutableProgram, name: str,
                                 fidelities) -> SimulationResult:
@@ -110,7 +192,9 @@ class TiltSimulator:
                        sample_counts: bool = False,
                        max_records: int = DEFAULT_MAX_RECORDS,
                        circuit_name: str | None = None,
-                       analytic: SimulationResult | None = None) -> ShotResult:
+                       analytic: SimulationResult | None = None,
+                       scenario: NoiseScenario | str | None = None,
+                       ) -> ShotResult:
         """Monte-Carlo sample the program's Eq. 4 noise, shot by shot.
 
         Every per-gate fidelity becomes a stochastic Pauli/readout-flip
@@ -127,21 +211,50 @@ class TiltSimulator:
         relabelled back to *logical* qubit order through its final
         mapping; a bare :class:`ExecutableProgram` (no mapping available)
         yields counts over the physical (routed) wires.
+
+        *scenario* switches on the correlated-noise mechanisms (see
+        :mod:`repro.noise.scenarios`): crosstalk kicks on the spectator
+        ions under the head, leakage out of the computational subspace
+        and shuttle-induced heating bursts.  ``None`` / ``"baseline"``
+        keeps the independent-error sampling (and its exact random
+        stream) unchanged.
         """
         mapping = (program.final_mapping
                    if isinstance(program, CompileResult) else None)
         program, name = self._resolve(program, circuit_name)
-        gates = []
-        sites = []
-        fidelities = []
-        for index, (gate, fidelity) in enumerate(self.gate_fidelities(program)):
-            gates.append(gate)
-            fidelities.append(fidelity)
-            site = error_site_for_gate(index, gate, fidelity)
-            if site is not None:
-                sites.append(site)
-        if analytic is None:
-            analytic = self._result_from_fidelities(program, name, fidelities)
+        scenario = resolve_scenario(scenario)
+        expected_rate = None
+        if scenario.is_baseline:
+            gates = []
+            sites = []
+            fidelities = []
+            for index, (gate, fidelity) in enumerate(
+                self.gate_fidelities(program)
+            ):
+                gates.append(gate)
+                fidelities.append(fidelity)
+                site = error_site_for_gate(index, gate, fidelity)
+                if site is not None:
+                    sites.append(site)
+            if analytic is None:
+                analytic = self._result_from_fidelities(program, name,
+                                                        fidelities)
+        else:
+            points = self.scenario_points(program, scenario)
+            gates = [point.gate for point in points
+                     if isinstance(point, GatePoint)]
+            sites = build_scenario_sites(points, scenario)
+            # one analytics pass serves both the analytic result and the
+            # sampler's expected rate — the burst DP never runs twice
+            analytics = scenario_analytics(sites, scenario)
+            expected_rate = analytics.success_rate
+            if analytic is None:
+                base = self._result_from_fidelities(
+                    program, name,
+                    (point.fidelity for point in points
+                     if isinstance(point, GatePoint)),
+                )
+                analytic = analytics.apply_to(base)
         sampler = StochasticSampler(
             architecture=f"TILT head {self.device.head_size}",
             circuit_name=name,
@@ -149,6 +262,8 @@ class TiltSimulator:
             gates=gates,
             num_qubits=program.circuit.num_qubits,
             analytic=analytic,
+            burst_multiplier=scenario.burst_error_multiplier,
+            expected_rate=expected_rate,
         )
         result = sampler.run(shots, seed=seed, shot_offset=shot_offset,
                              sample_counts=sample_counts,
@@ -174,9 +289,12 @@ class TiltSimulator:
             program.move_distance_um / self.params.shuttle_speed_um_per_us
         )
         interval = self.params.tilt_cooling_interval_moves
-        if interval > 0:
+        if interval > 0 and program.num_moves > 0:
+            # A pause runs between the interval-th move and the next one
+            # (matching quanta_after_moves), so a program ending exactly
+            # on an interval boundary never pays for a pause it skipped.
             shuttle_time += (
-                program.num_moves // interval
+                (program.num_moves - 1) // interval
             ) * self.params.tilt_cooling_time_us
         gate_time = 0.0
         for _, gates in program.gates_by_segment():

@@ -44,6 +44,13 @@ class TestTiltDevice:
         # Unreachable gates have none.
         assert list(tilt16.positions_covering((0, 8))) == []
 
+    def test_positions_covering_empty_tuple_is_every_position(self, tilt16):
+        # regression: a global barrier constrains no ions, so instead of
+        # crashing in min()/max() the full head-position range comes back
+        covered = tilt16.positions_covering(())
+        assert covered == tilt16.head_positions()
+        assert len(covered) == tilt16.num_head_positions
+
     def test_move_distance(self, tilt16):
         assert tilt16.move_distance_um(0, 4) == 4 * DEFAULT_ION_SPACING_UM
 

@@ -28,8 +28,25 @@ class TestCoolingModel:
         params = NoiseParameters(tilt_cooling_interval_moves=4)
         k = params.shuttle_quanta(64)
         assert quanta_after_moves(3, 64, params) == pytest.approx(3 * k)
-        assert quanta_after_moves(4, 64, params) == pytest.approx(0.0)
+        assert quanta_after_moves(5, 64, params) == pytest.approx(1 * k)
         assert quanta_after_moves(9, 64, params) == pytest.approx(1 * k)
+
+    def test_interval_boundary_sees_full_heating(self):
+        # The cooling pause runs *between* the interval-th move and the
+        # next one: a gate right after move `interval` (or any exact
+        # multiple) must see the whole window's heating, not a freshly
+        # cooled chain.  Regression for the `num_moves % interval == 0`
+        # bug that credited cooling before it happened.
+        params = NoiseParameters(tilt_cooling_interval_moves=4)
+        k = params.shuttle_quanta(64)
+        assert quanta_after_moves(4, 64, params) == pytest.approx(4 * k)
+        assert quanta_after_moves(8, 64, params) == pytest.approx(4 * k)
+        assert quanta_after_moves(0, 64, params) == pytest.approx(0.0)
+        # interval 1: every gate after a move sees exactly one move of heat
+        one = NoiseParameters(tilt_cooling_interval_moves=1)
+        assert quanta_after_moves(7, 64, one) == pytest.approx(
+            one.shuttle_quanta(64)
+        )
 
     def test_negative_interval_rejected(self):
         with pytest.raises(SimulationError):

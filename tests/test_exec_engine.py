@@ -145,6 +145,33 @@ class TestExecutionEngine:
         engine = ExecutionEngine(workers=1, cache_path=path)
         assert engine.run_one(_tilt_spec(7)).simulation is not None
 
+    def test_flush_failure_leaves_no_temp_file(self, tmp_path):
+        # regression: a non-OSError from json.dump (e.g. TypeError on an
+        # unserialisable payload) used to leak the mkstemp temp file
+        from repro.exec import ResultCache
+        from repro.exec.jobs import JobResult
+
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path)
+        good = ExecutionEngine(workers=1).run_one(_tilt_spec(7))
+        poisoned = dataclasses.replace(
+            good,
+            simulation=dataclasses.replace(
+                good.simulation, extras={"bad": object()}
+            ),
+        )
+        cache.store(poisoned)
+        with pytest.raises(TypeError):
+            cache.flush()
+        assert not path.exists()
+        assert [p.name for p in tmp_path.iterdir()] == []
+        # the cache object stays usable: replacing the poisoned entry
+        # with a serialisable one lets the next flush succeed
+        cache.store(good)
+        cache.flush()
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
     def test_progress_callback_sees_every_job(self):
         seen = []
         engine = ExecutionEngine(

@@ -115,6 +115,18 @@ class TestHeating:
         assert state.cooled().quanta == 0.0
         assert state.quanta == 9.0
 
+    def test_cooled_copy_preserves_event_counters(self):
+        # regression: cooling resets motional energy, not history — the
+        # shuttle/primitive counters are per-run telemetry and must
+        # survive every cooling event
+        state = ChainHeatingState(NoiseParameters(), chain_length=16)
+        state.record_linear_shuttle()
+        state.record_qccd_primitive(4)
+        cooled = state.cooled()
+        assert cooled.quanta == 0.0
+        assert cooled.num_shuttles == 1
+        assert cooled.num_qccd_ops == 4
+
     def test_invalid_chain_length(self):
         with pytest.raises(SimulationError):
             ChainHeatingState(NoiseParameters(), chain_length=0)

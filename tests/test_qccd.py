@@ -120,6 +120,23 @@ class TestQccdSimulator:
         assert result.execution_time_us > 0
         assert any(key.startswith("trap_") for key in result.extras)
 
+    def test_heating_telemetry_survives_cooling_events(self, qccd16, noise):
+        # regression companion of ChainHeatingState.cooled(): every
+        # transport triggers a sympathetic-cooling event, yet the QCCD
+        # result must still report how many heating primitives each trap
+        # absorbed — cooling resets energy, not history
+        crossing = Circuit(16)
+        for _ in range(4):
+            crossing.cx(0, 15)
+        result = QccdSimulator(qccd16, noise).run(
+            compile_for_qccd(crossing, qccd16)
+        )
+        assert result.num_moves > 0
+        op_counters = {key: value for key, value in result.extras.items()
+                       if key.endswith("_qccd_ops")}
+        assert op_counters
+        assert sum(op_counters.values()) > 0
+
     def test_device_mismatch_rejected(self, qccd16, noise):
         other = QccdDevice(num_qubits=12, trap_capacity=5)
         program = compile_for_qccd(Circuit(12).cx(0, 11), other)

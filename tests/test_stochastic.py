@@ -217,6 +217,33 @@ class TestDeterminism:
         ]
         assert merge_shot_results(shards) == serial
 
+    @pytest.mark.parametrize("scenario", ["baseline", "crosstalk",
+                                          "leakage", "heating_burst",
+                                          "worst_case"])
+    def test_every_scenario_shards_bit_identically(self, scenario,
+                                                   qft16_compiled, noise):
+        # scenario determinism: for each registered scenario, a seeded
+        # run is bit-identical no matter how the shots are sharded
+        device, compiled = qft16_compiled
+        simulator = TiltSimulator(device, noise)
+        serial = simulator.run_stochastic(compiled, shots=400, seed=4,
+                                          scenario=scenario)
+        shards = [
+            simulator.run_stochastic(compiled, shots=width, seed=4,
+                                     shot_offset=offset, scenario=scenario)
+            for offset, width in ((0, 150), (150, 150), (300, 100))
+        ]
+        assert merge_shot_results(shards) == serial
+
+    @pytest.mark.parametrize("scenario", ["baseline", "worst_case"])
+    def test_scenario_worker_count_invariance(self, scenario):
+        spec = _sampled_spec(shots=400, scenario=scenario)
+        serial = run_sampled_job(spec, shards=4,
+                                 engine=ExecutionEngine(workers=1))
+        pooled = run_sampled_job(spec, shards=4,
+                                 engine=ExecutionEngine(workers=4))
+        assert serial.shot == pooled.shot
+
     def test_shards_merge_identically_past_the_record_cap(
             self, qft16_compiled, noise):
         # QFT-16 has ~25% erroneous shots, so a cap of 8 saturates in
