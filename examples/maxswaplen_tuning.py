@@ -3,13 +3,20 @@
 
 Restricting the span of inserted SWAPs below the laser-head width costs a
 few extra SWAPs but gives the tape-movement scheduler more freedom; this
-script sweeps the restriction for one workload, prints every point, and
-reports the sweet spot — exactly the iteration loop the paper describes in
-Section IV-C.
+script explores the restriction with the :mod:`repro.search` subsystem —
+the same iteration loop the paper describes in Section IV-C, but as a
+declarative :class:`~repro.search.SearchSpace` walked by a pluggable
+strategy, with the Pareto view (success vs execution time vs transport
+work) and per-knob sensitivity for free.
 
 Run with::
 
     python examples/maxswaplen_tuning.py [--workload QFT] [--scale small|paper]
+        [--strategy grid|random|halving] [--shots N] [--scenario NAME]
+
+``--strategy halving --shots 1000`` scores every MaxSwapLen with the
+cheap analytic model first and promotes only the best half to the
+full sampled evaluation — fewer engine jobs than the exhaustive grid.
 """
 
 from __future__ import annotations
@@ -19,8 +26,26 @@ import argparse
 from repro import TiltDevice
 from repro.analysis import experiments
 from repro.analysis.tables import format_table
-from repro.core.sweep import max_swap_len_sweep
+from repro.core.sweep import default_max_swap_lengths
+from repro.search import (
+    GridStrategy,
+    RandomStrategy,
+    SuccessiveHalvingStrategy,
+    SearchSpace,
+    config_knob,
+    run_search,
+)
 from repro.workloads.suite import build_workload
+
+
+def make_strategy(name: str, num_candidates: int):
+    if name == "grid":
+        return GridStrategy()
+    if name == "random":
+        return RandomStrategy(num_samples=max(2, num_candidates // 2), seed=7)
+    if name == "halving":
+        return SuccessiveHalvingStrategy()
+    raise ValueError(f"unknown strategy {name!r}")
 
 
 def main() -> int:
@@ -28,6 +53,12 @@ def main() -> int:
     parser.add_argument("--workload", default="QFT",
                         help="Table II workload name (BV, QFT or SQRT)")
     parser.add_argument("--scale", choices=("small", "paper"), default="small")
+    parser.add_argument("--strategy",
+                        choices=("grid", "random", "halving"), default="grid")
+    parser.add_argument("--shots", type=int, default=0,
+                        help="full-fidelity sampling budget (0 = analytic)")
+    parser.add_argument("--scenario", default="baseline",
+                        help="registered correlated-noise scenario name")
     args = parser.parse_args()
 
     circuit = build_workload(args.workload, args.scale)
@@ -35,18 +66,36 @@ def main() -> int:
     device = TiltDevice(num_qubits=circuit.num_qubits, head_size=head_size)
     print(f"{device.describe()}; workload {circuit.summary()}")
 
-    points = max_swap_len_sweep(circuit, device,
-                                base_config=experiments.ROUTING_STUDY_CONFIG)
+    lengths = default_max_swap_lengths(device)
+    space = SearchSpace(
+        circuit=circuit,
+        device=device,
+        knobs=[config_knob("max_swap_len", lengths)],
+        config=experiments.ROUTING_STUDY_CONFIG,
+        scenario=args.scenario,
+        shots=args.shots,
+        shards=4 if args.shots else 1,
+    )
+    result = run_search(space, make_strategy(args.strategy, len(lengths)))
+
+    front = {point.candidate for point in result.pareto_front()}
     print(format_table(
-        ["MaxSwapLen", "swaps", "moves", "tape travel (um)", "success rate"],
-        [[int(p.value), p.num_swaps, p.num_moves,
-          f"{p.move_distance_um:.0f}", f"{p.success_rate:.3e}"]
-         for p in points],
+        ["MaxSwapLen", "swaps", "moves", "success rate", "log10",
+         "exec time (s)", "Pareto"],
+        [[point.assignments["max_swap_len"], point.num_swaps, point.num_moves,
+          f"{point.success_rate:.3e}", f"{point.log10_success:.4f}",
+          f"{point.execution_time_s:.4f}",
+          "*" if point.candidate in front else ""]
+         for point in result.points],
     ))
 
-    best = max(points, key=lambda point: point.log10_success_rate)
-    print(f"\nsweet spot: MaxSwapLen = {int(best.value)} "
+    best = result.best()
+    print(f"\nsweet spot: MaxSwapLen = {best.assignments['max_swap_len']} "
           f"(success rate {best.success_rate:.3e})")
+    print(f"strategy {result.strategy!r} issued {result.num_jobs} engine "
+          f"jobs for {len(result.points)} full-fidelity points")
+    for row in result.sensitivity():
+        print(f"sensitivity[{row.knob}] = {row.range_decades:.4f} decades")
     return 0
 
 

@@ -11,6 +11,8 @@ The package is organised as:
 * :mod:`repro.sim` — statevector, TILT, QCCD and Ideal-TI simulators.
 * :mod:`repro.core` — the :class:`LinQ` facade, architecture comparisons
   and parameter sweeps.
+* :mod:`repro.search` — declarative design-space exploration and
+  autotuning (grid / random / successive halving, Pareto fronts).
 * :mod:`repro.analysis` — drivers that regenerate every figure and table.
 
 Quickstart::
@@ -22,7 +24,7 @@ Quickstart::
     print(report.summary())
 """
 
-from repro import arch, circuits, compiler, core, noise, sim, workloads
+from repro import arch, circuits, compiler, core, noise, search, sim, workloads
 from repro import exec as exec_  # noqa: A004 - the subpackage is repro.exec
 from repro.arch import IdealTrappedIonDevice, QccdDevice, TiltDevice
 from repro.circuits import Circuit, Gate
@@ -116,6 +118,7 @@ __all__ = [
     "noise",
     "run_jobs",
     "run_sampled_job",
+    "search",
     "sim",
     "tilt_vs_qccd_ratios",
     "workloads",

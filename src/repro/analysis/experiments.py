@@ -34,7 +34,7 @@ from repro.core.comparison import (
     comparison_specs,
     tilt_vs_qccd_ratios,
 )
-from repro.core.sweep import SweepPoint, sweep_job
+from repro.core.sweep import SweepPoint, default_max_swap_lengths, sweep_job
 from repro.exceptions import ReproError
 from repro.exec import ExecutionEngine, JobSpec, run_jobs
 from repro.noise.parameters import NoiseParameters
@@ -185,8 +185,7 @@ def figure7(scale: str | None = None,
     for name in names:
         circuit = build_workload(name, scale)
         device = device_for(scale, name)
-        lengths = list(range(device.max_gate_span, device.head_size // 2 - 1, -1))
-        for length in lengths:
+        for length in default_max_swap_lengths(device):
             cells.append((name, length))
             specs.append(sweep_job(
                 circuit, device,

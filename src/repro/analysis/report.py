@@ -94,6 +94,13 @@ def scenarios_report(scale: str | None = None) -> str:
     return build(scale)
 
 
+def search_report(scale: str | None = None) -> str:
+    """Design-space search: grid vs successive halving, Pareto front."""
+    from repro.analysis.search_study import search_report as build
+
+    return build(scale)
+
+
 def table3_report(scale: str | None = None) -> str:
     """Table III: compilation results."""
     rows = _rows_of(experiments.table3(scale))
@@ -127,11 +134,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--section", default="all",
                         choices=("all", "table2", "figure6", "figure7",
                                  "figure8", "table3", "convergence",
-                                 "scenarios"),
+                                 "scenarios", "search"),
                         help="generate only one section ('convergence' is "
-                             "the stochastic-sampling study and 'scenarios' "
-                             "the correlated-noise comparison; neither is "
-                             "part of 'all')")
+                             "the stochastic-sampling study, 'scenarios' "
+                             "the correlated-noise comparison and 'search' "
+                             "the design-space search study; none is part "
+                             "of 'all')")
     args = parser.parse_args(argv)
     builders = {
         "table2": table2_report,
@@ -141,6 +149,7 @@ def main(argv: list[str] | None = None) -> int:
         "table3": table3_report,
         "convergence": convergence_report,
         "scenarios": scenarios_report,
+        "search": search_report,
     }
     if args.section == "all":
         print(full_report(args.scale))

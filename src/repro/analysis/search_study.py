@@ -1,0 +1,279 @@
+"""Design-space search study (``--section search``).
+
+Runs the same design space — MaxSwapLen x correlated-noise scenario for
+one routing workload — under the exhaustive grid strategy and under
+successive halving, then renders what the subsystem adds over the ad-hoc
+per-knob loops: a strategy comparison (evaluations, engine jobs, cache
+hits, agreement on the best configuration), the multi-objective Pareto
+table (log10 success vs execution time vs transport work), the per-knob
+sensitivity attribution, and a dependency-free text scatter of the
+objective plane with the Pareto front marked.
+
+``python -m repro.analysis.search_study [--out search-pareto.json]`` is
+the CI smoke entry point: it prints the report and archives the full
+:meth:`~repro.search.SearchResult.to_json` payload (points, rungs,
+sensitivity and the engine-stats delta, so cache-hit-rate regressions
+are visible) next to the benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+
+from repro.analysis import experiments
+from repro.analysis.tables import format_records
+from repro.core.sweep import default_max_swap_lengths
+from repro.exec import ExecutionEngine
+from repro.noise.parameters import NoiseParameters
+from repro.search import (
+    GridStrategy,
+    SearchResult,
+    SearchSpace,
+    SuccessiveHalvingStrategy,
+    config_knob,
+    run_search,
+    scenario_knob,
+)
+from repro.workloads.suite import build_workload
+
+#: Full-fidelity shot budget of the study (kept small: this is CI smoke).
+DEFAULT_SHOTS = 512
+
+#: Root seed of the sampled evaluations (matches the other studies).
+DEFAULT_SEED = 2021
+
+#: Scenario axis of the default study space.
+DEFAULT_SCENARIOS = ("baseline", "crosstalk")
+
+
+def study_space(scale: str | None = None, workload: str = "QFT",
+                shots: int = DEFAULT_SHOTS,
+                scenarios: tuple[str, ...] = DEFAULT_SCENARIOS,
+                noise_params: NoiseParameters | None = None) -> SearchSpace:
+    """The default study space: MaxSwapLen x scenario for one workload."""
+    scale = experiments.resolve_scale(scale)
+    circuit = build_workload(workload, scale)
+    device = experiments.device_for(scale, workload)
+    lengths = default_max_swap_lengths(device)
+    return SearchSpace(
+        circuit=circuit,
+        device=device,
+        knobs=[
+            config_knob("max_swap_len", lengths),
+            scenario_knob(scenarios),
+        ],
+        config=experiments.ROUTING_STUDY_CONFIG,
+        noise=noise_params or NoiseParameters.paper_defaults(),
+        shots=shots,
+        seed=DEFAULT_SEED,
+        shards=4,
+    )
+
+
+def search_study(scale: str | None = None, *,
+                 shots: int = DEFAULT_SHOTS,
+                 workers: int | None = None) -> dict[str, SearchResult]:
+    """Grid and successive halving over the same space, fresh engine each.
+
+    Separate engines keep the job accounting honest: the comparison
+    shows what each strategy costs from cold, not what it costs after
+    the other strategy warmed a shared cache.
+    """
+    space = study_space(scale, shots=shots)
+    results: dict[str, SearchResult] = {}
+    for strategy in (GridStrategy(), SuccessiveHalvingStrategy()):
+        engine = ExecutionEngine(workers=1 if workers is None else workers)
+        results[strategy.name] = run_search(space, strategy, engine=engine)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def strategy_table(results: dict[str, SearchResult]) -> str:
+    """Per-strategy cost and outcome comparison."""
+    records = []
+    for name, result in results.items():
+        stats = result.engine_stats or {}
+        best = result.best()
+        records.append({
+            "strategy": name,
+            "evaluations": len(result.points),
+            "engine_jobs": result.num_jobs,
+            "jobs_executed": int(stats.get("jobs_executed", 0)),
+            "cache_hit_rate": stats.get("cache_hit_rate", 0.0),
+            "pareto_size": len(result.pareto_front()),
+            "best": ", ".join(f"{k}={v}" for k, v in best.assignments.items()),
+            "best_log10": best.log10_success,
+        })
+    return format_records(records)
+
+
+def pareto_table(result: SearchResult) -> str:
+    """Every full-fidelity point with its objectives and front membership."""
+    front = {point.candidate for point in result.pareto_front()}
+    records = []
+    for point in result.points:
+        record: dict[str, object] = dict(point.assignments)
+        record.update({
+            "success_rate": point.success_rate,
+            "log10_success": point.log10_success,
+            "execution_time_s": point.execution_time_s,
+            "transport_ops": point.transport_ops,
+            "shots": point.shots,
+            "pareto": "*" if point.candidate in front else "",
+        })
+        records.append(record)
+    return format_records(records)
+
+
+def sensitivity_table(result: SearchResult) -> str:
+    """Per-knob marginal attribution (which knob moves success most)."""
+    records = []
+    for row in result.sensitivity():
+        finite = {k: v for k, v in row.per_value.items() if math.isfinite(v)}
+        best = max(finite, key=finite.get) if finite else "-"
+        worst = min(finite, key=finite.get) if finite else "-"
+        records.append({
+            "knob": row.knob,
+            "range_decades": row.range_decades,
+            "best_value": best,
+            "worst_value": worst,
+        })
+    return format_records(
+        records, ["knob", "range_decades", "best_value", "worst_value"]
+    )
+
+
+#: Text-scatter geometry (kept odd-ish so axis labels line up).
+_SCATTER_WIDTH = 60
+_SCATTER_HEIGHT = 14
+
+
+def pareto_scatter(result: SearchResult) -> str:
+    """Dependency-free scatter of the objective plane.
+
+    x is estimated execution time, y is log10 success; ``*`` marks
+    Pareto-front members and ``o`` dominated points.  Points with a
+    non-finite score (sampled zero successes) are dropped and counted in
+    the caption.
+    """
+    finite = [p for p in result.points if math.isfinite(p.log10_success)]
+    dropped = len(result.points) - len(finite)
+    if not finite:
+        return "(no finite points to plot)"
+    front = {p.candidate for p in result.pareto_front()}
+    xs = [p.execution_time_s for p in finite]
+    ys = [p.log10_success for p in finite]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    cells = [[" "] * _SCATTER_WIDTH for _ in range(_SCATTER_HEIGHT)]
+    for point in finite:
+        column = round(
+            (point.execution_time_s - x_lo) / x_span * (_SCATTER_WIDTH - 1)
+        )
+        row = round(
+            (y_hi - point.log10_success) / y_span * (_SCATTER_HEIGHT - 1)
+        )
+        mark = "*" if point.candidate in front else "o"
+        if cells[row][column] != "*":  # front members win shared cells
+            cells[row][column] = mark
+    lines = [
+        "Figure S2 — objective plane (x: execution time s, "
+        "y: log10 success; * = Pareto front)"
+    ]
+    if dropped:
+        lines.append(f"({dropped} point(s) with zero sampled successes "
+                     "not plotted)")
+    for index, row_cells in enumerate(cells):
+        if index == 0:
+            label = f"{y_hi:9.3f} "
+        elif index == _SCATTER_HEIGHT - 1:
+            label = f"{y_lo:9.3f} "
+        else:
+            label = " " * 10
+        lines.append(label + "|" + "".join(row_cells))
+    lines.append(" " * 10 + "+" + "-" * _SCATTER_WIDTH)
+    lines.append(" " * 10 + f"{x_lo:<10.4f}" + " " *
+                 (_SCATTER_WIDTH - 20) + f"{x_hi:>10.4f}")
+    return "\n".join(lines)
+
+
+def report_from_results(results: dict[str, SearchResult]) -> str:
+    """Render the report from already-computed results (no re-run)."""
+    grid = results["grid"]
+    halving = results["successive_halving"]
+    rung_lines = [
+        f"  rung {index}: {rung.num_candidates} candidates at "
+        f"{rung.shots or 'analytic'} shots -> {rung.promoted} promoted"
+        for index, rung in enumerate(halving.rungs)
+    ]
+    return "\n".join([
+        "Design-space search — grid vs successive halving "
+        "(MaxSwapLen x noise scenario)",
+        strategy_table(results),
+        "",
+        "Successive-halving schedule",
+        *rung_lines,
+        "",
+        "Pareto table (grid strategy, full fidelity)",
+        pareto_table(grid),
+        "",
+        "Per-knob sensitivity (marginal mean log10 success)",
+        sensitivity_table(grid),
+        "",
+        pareto_scatter(grid),
+    ])
+
+
+def search_report(scale: str | None = None, *,
+                  shots: int = DEFAULT_SHOTS,
+                  workers: int | None = None) -> str:
+    """The full ``--section search`` report text."""
+    return report_from_results(
+        search_study(scale, shots=shots, workers=workers)
+    )
+
+
+def write_search_json(path: str | os.PathLike[str],
+                      results: dict[str, SearchResult],
+                      scale: str) -> None:
+    """Archive every strategy's full result payload as one JSON file."""
+    payload = {
+        "scale": scale,
+        "strategies": {
+            name: result.to_json() for name, result in results.items()
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (the CI search smoke)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("small", "paper"), default=None)
+    parser.add_argument("--shots", type=int, default=DEFAULT_SHOTS,
+                        help="full-fidelity shot budget (0 = analytic only)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="engine process-pool size (default: serial)")
+    parser.add_argument("--out", default=None,
+                        help="write the search JSON artifact to this path")
+    args = parser.parse_args(argv)
+    scale = experiments.resolve_scale(args.scale)
+    results = search_study(scale, shots=args.shots, workers=args.workers)
+    print(report_from_results(results))
+    if args.out:
+        write_search_json(args.out, results, scale)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI glue
+    raise SystemExit(main())

@@ -23,6 +23,7 @@ from repro.arch.tilt import TiltDevice
 from repro.circuits.circuit import Circuit
 from repro.compiler.pipeline import CompilerConfig
 from repro.exec import ExecutionEngine, JobResult, JobSpec, run_jobs
+from repro.exec.jobs import BASELINE_SCENARIO
 from repro.noise.parameters import NoiseParameters
 from repro.sim.result import SimulationResult
 
@@ -63,12 +64,15 @@ def comparison_specs(
     qccd_trap_capacities: tuple[int, ...] = (17, 25, 33),
     compiler_config: CompilerConfig | None = None,
     noise_params: NoiseParameters | None = None,
+    scenario: str = BASELINE_SCENARIO,
 ) -> list[JobSpec]:
     """The engine jobs behind one :func:`compare_architectures` call.
 
     TILT jobs are labelled ``"TILT head <n>"``, the ideal reference
     ``"Ideal TI"`` and each QCCD candidate ``"QCCD cap <c>"``;
-    :func:`comparison_from_results` relies on those labels.
+    :func:`comparison_from_results` relies on those labels.  ``scenario``
+    runs every architecture under a registered correlated-noise scenario
+    (:mod:`repro.noise.scenarios`).
     """
     width = num_qubits or circuit.num_qubits
     params = noise_params or NoiseParameters.paper_defaults()
@@ -78,13 +82,13 @@ def comparison_specs(
         device = TiltDevice(num_qubits=width, head_size=min(head_size, width))
         specs.append(JobSpec(
             circuit=circuit, device=device, backend="tilt",
-            config=compiler_config, noise=params,
+            config=compiler_config, noise=params, scenario=scenario,
             label=f"TILT head {device.head_size}",
         ))
 
     specs.append(JobSpec(
         circuit=circuit, device=IdealTrappedIonDevice(num_qubits=width),
-        backend="ideal", noise=params, label="Ideal TI",
+        backend="ideal", noise=params, scenario=scenario, label="Ideal TI",
     ))
 
     capacities = [c for c in qccd_trap_capacities if c < width]
@@ -94,14 +98,14 @@ def comparison_specs(
         device = QccdDevice(num_qubits=width, trap_capacity=width, num_traps=1)
         specs.append(JobSpec(
             circuit=circuit, device=device, backend="qccd", noise=params,
-            label=f"QCCD cap {width}",
+            scenario=scenario, label=f"QCCD cap {width}",
         ))
     else:
         for capacity in capacities:
             device = QccdDevice(num_qubits=width, trap_capacity=capacity)
             specs.append(JobSpec(
                 circuit=circuit, device=device, backend="qccd", noise=params,
-                label=f"QCCD cap {capacity}",
+                scenario=scenario, label=f"QCCD cap {capacity}",
             ))
     return specs
 
@@ -141,6 +145,7 @@ def compare_architectures(
     qccd_trap_capacities: tuple[int, ...] = (17, 25, 33),
     compiler_config: CompilerConfig | None = None,
     noise_params: NoiseParameters | None = None,
+    scenario: str = BASELINE_SCENARIO,
     workers: int | None = None,
     engine: ExecutionEngine | None = None,
 ) -> ArchitectureComparison:
@@ -159,6 +164,9 @@ def compare_architectures(
         Candidate ions-per-trap values for the QCCD baseline.  The paper
         compares against the *best* reported QCCD configuration in the
         15-35 ions/trap range, so the highest-fidelity capacity is kept.
+    scenario:
+        Registered correlated-noise scenario every architecture runs
+        under (default: the paper's independent-error baseline).
     workers, engine:
         Execution-engine controls (see :mod:`repro.exec`).
     """
@@ -169,6 +177,7 @@ def compare_architectures(
         qccd_trap_capacities=qccd_trap_capacities,
         compiler_config=compiler_config,
         noise_params=noise_params,
+        scenario=scenario,
     )
     results = run_jobs(specs, workers=workers, engine=engine)
     return comparison_from_results(circuit.name, results)

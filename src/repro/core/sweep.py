@@ -16,11 +16,14 @@ is a fully serial, deterministic path producing bit-identical results.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
+from repro.arch.device import DeviceSpec
 from repro.arch.tilt import TiltDevice
 from repro.circuits.circuit import Circuit
 from repro.compiler.pipeline import CompilerConfig
 from repro.exec import ExecutionEngine, JobResult, JobSpec, run_jobs
+from repro.exec.jobs import BASELINE_SCENARIO
 from repro.exceptions import ReproError
 from repro.noise.parameters import NoiseParameters
 
@@ -47,11 +50,56 @@ class SweepPoint:
     label: str = ""
 
 
+def point_spec(circuit: Circuit, device: DeviceSpec,
+               config: CompilerConfig | None, params: NoiseParameters,
+               *, backend: str = "tilt", scenario: str = BASELINE_SCENARIO,
+               shots: int = 0, seed: int = 0, simulate: bool = True,
+               label: str = "") -> JobSpec:
+    """The engine job for one evaluated point of a sweep or search.
+
+    This is the single place that turns "one configuration" into a
+    :class:`JobSpec`: every sweep in this module and every
+    :mod:`repro.search` candidate goes through it, so they produce
+    byte-identical specs (hence shared cache keys) for equal
+    configurations.  The compiler configuration only applies to the
+    ``"tilt"`` backend; it is dropped for the others so a QCCD/ideal
+    point never splits the cache on an unused knob.
+    """
+    return JobSpec(circuit=circuit, device=device, backend=backend,
+                   config=config if backend == "tilt" else None,
+                   noise=params, simulate=simulate, shots=shots, seed=seed,
+                   scenario=scenario, label=label)
+
+
 def sweep_job(circuit: Circuit, device: TiltDevice, config: CompilerConfig,
-              params: NoiseParameters, label: str = "") -> JobSpec:
+              params: NoiseParameters, label: str = "",
+              scenario: str = BASELINE_SCENARIO) -> JobSpec:
     """The engine job for one sweep point (compile + simulate on TILT)."""
-    return JobSpec(circuit=circuit, device=device, config=config,
-                   noise=params, simulate=True, label=label)
+    return point_spec(circuit, device, config, params, scenario=scenario,
+                      label=label)
+
+
+def override_sweep_specs(circuit: Circuit, device: TiltDevice,
+                         base_config: CompilerConfig,
+                         params: NoiseParameters, field: str,
+                         values: Sequence[object],
+                         labels: Sequence[str] | None = None,
+                         scenario: str = BASELINE_SCENARIO) -> list[JobSpec]:
+    """One spec per *field* override — the shared sweep-point builder.
+
+    Every sweep in this module is "the same job at each value of one
+    compiler knob"; this helper builds that spec list in one place
+    (labels default to ``field=value``).
+    """
+    if labels is None:
+        labels = [f"{field}={value:g}" if isinstance(value, (int, float))
+                  else f"{field}={value}" for value in values]
+    return [
+        sweep_job(circuit, device,
+                  base_config.with_overrides(**{field: value}), params,
+                  label=label, scenario=scenario)
+        for value, label in zip(values, labels)
+    ]
 
 
 def point_from_result(result: JobResult, parameter: str, value: float,
@@ -90,6 +138,16 @@ def _run_sweep(specs: list[JobSpec], parameter: str, values: list[float],
     ]
 
 
+def default_max_swap_lengths(device: TiltDevice) -> list[int]:
+    """The MaxSwapLen values Figure 7 sweeps for one device.
+
+    ``head_size - 1`` (the maximum executable span) down to
+    ``head_size / 2`` — the single definition every sweep, search space,
+    benchmark and example uses for the Figure 7 range.
+    """
+    return list(range(device.max_gate_span, device.head_size // 2 - 1, -1))
+
+
 def max_swap_len_sweep(
     circuit: Circuit,
     device: TiltDevice,
@@ -97,25 +155,24 @@ def max_swap_len_sweep(
     *,
     base_config: CompilerConfig | None = None,
     noise_params: NoiseParameters | None = None,
+    scenario: str = BASELINE_SCENARIO,
     workers: int | None = None,
     engine: ExecutionEngine | None = None,
 ) -> list[SweepPoint]:
     """Compile and simulate *circuit* once per MaxSwapLen value (Fig. 7).
 
     ``lengths`` defaults to ``head_size - 1`` down to ``head_size / 2``, the
-    range plotted in Figure 7.  ``workers`` fans the points out over a
-    process pool; ``engine`` overrides the shared execution engine.
+    range plotted in Figure 7.  ``scenario`` runs every point under a
+    registered correlated-noise scenario; ``workers`` fans the points out
+    over a process pool; ``engine`` overrides the shared execution engine.
     """
     if lengths is None:
-        lengths = list(range(device.max_gate_span, device.head_size // 2 - 1, -1))
-    config = base_config or CompilerConfig()
-    params = noise_params or NoiseParameters.paper_defaults()
-    specs = [
-        sweep_job(circuit, device,
-                  config.with_overrides(max_swap_len=length), params,
-                  label=f"max_swap_len={length}")
-        for length in lengths
-    ]
+        lengths = default_max_swap_lengths(device)
+    specs = override_sweep_specs(
+        circuit, device, base_config or CompilerConfig(),
+        noise_params or NoiseParameters.paper_defaults(),
+        "max_swap_len", lengths, scenario=scenario,
+    )
     return _run_sweep(specs, "max_swap_len", [float(v) for v in lengths],
                       workers=workers, engine=engine)
 
@@ -127,6 +184,7 @@ def find_best_max_swap_len(
     *,
     base_config: CompilerConfig | None = None,
     noise_params: NoiseParameters | None = None,
+    scenario: str = BASELINE_SCENARIO,
     workers: int | None = None,
     engine: ExecutionEngine | None = None,
 ) -> SweepPoint:
@@ -134,7 +192,7 @@ def find_best_max_swap_len(
     points = max_swap_len_sweep(
         circuit, device, lengths,
         base_config=base_config, noise_params=noise_params,
-        workers=workers, engine=engine,
+        scenario=scenario, workers=workers, engine=engine,
     )
     return max(points, key=lambda point: point.log10_success_rate)
 
@@ -146,18 +204,17 @@ def alpha_sweep(
     *,
     base_config: CompilerConfig | None = None,
     noise_params: NoiseParameters | None = None,
+    scenario: str = BASELINE_SCENARIO,
     workers: int | None = None,
     engine: ExecutionEngine | None = None,
 ) -> list[SweepPoint]:
     """Ablation: sensitivity of the Eq. 1 score to the discount factor."""
     alphas = alphas or [0.3, 0.5, 0.7, 0.8, 0.9, 0.95]
-    config = base_config or CompilerConfig()
-    params = noise_params or NoiseParameters.paper_defaults()
-    specs = [
-        sweep_job(circuit, device, config.with_overrides(alpha=alpha),
-                  params, label=f"alpha={alpha:g}")
-        for alpha in alphas
-    ]
+    specs = override_sweep_specs(
+        circuit, device, base_config or CompilerConfig(),
+        noise_params or NoiseParameters.paper_defaults(),
+        "alpha", alphas, scenario=scenario,
+    )
     return _run_sweep(specs, "alpha", list(alphas),
                       workers=workers, engine=engine)
 
@@ -169,19 +226,17 @@ def lookahead_sweep(
     *,
     base_config: CompilerConfig | None = None,
     noise_params: NoiseParameters | None = None,
+    scenario: str = BASELINE_SCENARIO,
     workers: int | None = None,
     engine: ExecutionEngine | None = None,
 ) -> list[SweepPoint]:
     """Ablation: sensitivity to the Eq. 1 lookahead window size."""
     windows = windows or [1, 5, 10, 20, 40]
-    config = base_config or CompilerConfig()
-    params = noise_params or NoiseParameters.paper_defaults()
-    specs = [
-        sweep_job(circuit, device,
-                  config.with_overrides(lookahead_window=window), params,
-                  label=f"lookahead_window={window}")
-        for window in windows
-    ]
+    specs = override_sweep_specs(
+        circuit, device, base_config or CompilerConfig(),
+        noise_params or NoiseParameters.paper_defaults(),
+        "lookahead_window", windows, scenario=scenario,
+    )
     return _run_sweep(specs, "lookahead_window", [float(v) for v in windows],
                       workers=workers, engine=engine)
 
@@ -193,6 +248,7 @@ def mapper_sweep(
     *,
     base_config: CompilerConfig | None = None,
     noise_params: NoiseParameters | None = None,
+    scenario: str = BASELINE_SCENARIO,
     workers: int | None = None,
     engine: ExecutionEngine | None = None,
 ) -> dict[str, SweepPoint]:
@@ -202,13 +258,11 @@ def mapper_sweep(
     only the ordinal position of the mapper in the sweep).
     """
     mappers = mappers or ["trivial", "spectral", "greedy"]
-    config = base_config or CompilerConfig()
-    params = noise_params or NoiseParameters.paper_defaults()
-    specs = [
-        sweep_job(circuit, device, config.with_overrides(mapper=mapper),
-                  params, label=mapper)
-        for mapper in mappers
-    ]
+    specs = override_sweep_specs(
+        circuit, device, base_config or CompilerConfig(),
+        noise_params or NoiseParameters.paper_defaults(),
+        "mapper", mappers, labels=list(mappers), scenario=scenario,
+    )
     points = _run_sweep(specs, "mapper", [float(i) for i in range(len(mappers))],
                         list(mappers), workers=workers, engine=engine)
     return {mapper: point for mapper, point in zip(mappers, points)}

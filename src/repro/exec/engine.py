@@ -174,6 +174,29 @@ class EngineStats:
         self.batch_time_s = 0.0
         self.job_times_s.clear()
 
+    def to_dict(self) -> dict[str, float]:
+        """Plain-JSON snapshot of every counter plus derived rates.
+
+        This is what gets dumped next to search results / CI artifacts so
+        cache-hit-rate regressions are visible across runs.  The raw
+        counters come first so two snapshots can be subtracted; the
+        derived ``cache_misses`` / ``cache_hit_rate`` entries are
+        recomputed from whichever counters the consumer ends up with.
+        """
+        return {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_executed": self.jobs_executed,
+            "cache_hits": self.cache_hits,
+            "deduplicated": self.deduplicated,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": (
+                self.cache_hits / self.jobs_submitted
+                if self.jobs_submitted else 0.0
+            ),
+            "execution_time_s": self.execution_time_s,
+            "batch_time_s": self.batch_time_s,
+        }
+
     def summary(self) -> str:
         return (
             f"{self.jobs_submitted} jobs: {self.jobs_executed} executed, "

@@ -1,0 +1,84 @@
+"""Design-space exploration and autotuning (`repro.search`).
+
+The paper's central results are design-space sweeps — MaxSwapLen tuning
+(Fig. 7), tape/head geometry, TILT-vs-QCCD (Fig. 8) — explored one knob
+at a time.  This package turns that into a first-class subsystem:
+
+* :class:`SearchSpace` — a declarative cartesian space over device
+  knobs (tape length, head width, trap capacity), compiler knobs
+  (``max_swap_len``, mapper, scheduler options), noise knobs (cooling
+  interval) and the correlated-noise scenario axis;
+* :class:`GridStrategy`, :class:`RandomStrategy` and
+  :class:`SuccessiveHalvingStrategy` — pluggable exploration policies,
+  the last scoring candidates cheaply (analytic, or low shot counts)
+  and promoting survivors to full-fidelity evaluation;
+* :func:`run_search` — every evaluation routes through
+  :class:`~repro.exec.ExecutionEngine`, so content-hash caching, dedup
+  and process-pool fan-out apply, and results are bit-identical for any
+  ``workers=`` split;
+* :class:`SearchResult` — Pareto-front extraction over log10 success /
+  execution time / transport work, per-knob sensitivity attribution and
+  a JSON round trip for CI artifacts.
+
+Quickstart::
+
+    from repro import TiltDevice, search, workloads
+
+    space = search.SearchSpace(
+        circuit=workloads.qft_workload(16),
+        device=TiltDevice(num_qubits=16, head_size=8),
+        knobs=[search.config_knob("max_swap_len", [7, 6, 5, 4])],
+    )
+    result = search.run_search(space, search.GridStrategy())
+    print(result.summary())
+"""
+
+from repro.search.result import (
+    OBJECTIVES,
+    KnobSensitivity,
+    RungRecord,
+    SearchPoint,
+    SearchResult,
+    pareto_front,
+    search_result_from_json,
+)
+from repro.search.runner import run_search
+from repro.search.space import (
+    Candidate,
+    Knob,
+    SearchSpace,
+    architecture_knob,
+    config_knob,
+    device_knob,
+    noise_knob,
+    scenario_knob,
+)
+from repro.search.strategies import (
+    GridStrategy,
+    RandomStrategy,
+    SearchStrategy,
+    SuccessiveHalvingStrategy,
+)
+
+__all__ = [
+    "Candidate",
+    "GridStrategy",
+    "Knob",
+    "KnobSensitivity",
+    "OBJECTIVES",
+    "RandomStrategy",
+    "RungRecord",
+    "SearchPoint",
+    "SearchResult",
+    "SearchSpace",
+    "SearchStrategy",
+    "SuccessiveHalvingStrategy",
+    "architecture_knob",
+    "config_knob",
+    "device_knob",
+    "noise_knob",
+    "pareto_front",
+    "run_search",
+    "scenario_knob",
+    "search_result_from_json",
+]

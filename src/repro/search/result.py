@@ -1,0 +1,259 @@
+"""Search outcomes: evaluated points, Pareto fronts, sensitivity, JSON.
+
+Every evaluated candidate becomes a :class:`SearchPoint` carrying the
+three objectives the paper's design studies trade off — log10 success
+rate (maximize), estimated execution time (minimize) and transport work,
+i.e. SWAPs plus tape moves / ion shuttles (minimize).  A
+:class:`SearchResult` holds the full-fidelity points of one strategy run
+plus the per-rung history and engine-job accounting, and derives the
+multi-objective views: :meth:`SearchResult.pareto_front` (non-dominated
+points), :meth:`SearchResult.best` (highest-success front member) and
+:meth:`SearchResult.sensitivity` (per-knob marginal attribution).
+
+Everything round-trips through plain JSON (:meth:`SearchResult.to_json`
+/ :func:`search_result_from_json`) so CI can archive a search next to
+its benchmark artifacts; no wall-clock timings live on the points, which
+is what makes serial and pooled searches byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.exceptions import ReproError
+
+#: The objectives of every search, in reporting order.  ``log10_success``
+#: is maximized; the other two are minimized.
+OBJECTIVES = ("log10_success", "execution_time_s", "transport_ops")
+
+
+@dataclass(frozen=True)
+class SearchPoint:
+    """One evaluated candidate.
+
+    ``shots`` records the fidelity of the evaluation that produced the
+    scores (``0`` = exact analytic model); ``num_jobs`` is how many
+    engine specs the evaluation submitted (shards included).
+    """
+
+    candidate: tuple[int, ...]
+    assignments: dict[str, str]
+    shots: int
+    success_rate: float
+    log10_success: float
+    execution_time_s: float
+    num_swaps: int
+    num_moves: int
+    num_jobs: int = 1
+
+    @property
+    def transport_ops(self) -> int:
+        """SWAP gates plus tape moves / ion shuttles — the routing cost."""
+        return self.num_swaps + self.num_moves
+
+    @property
+    def score(self) -> float:
+        """The scalar promotion score (the paper's headline metric)."""
+        return self.log10_success
+
+    def dominates(self, other: "SearchPoint") -> bool:
+        """Pareto dominance: no worse on every objective, better on one."""
+        no_worse = (
+            self.log10_success >= other.log10_success
+            and self.execution_time_s <= other.execution_time_s
+            and self.transport_ops <= other.transport_ops
+        )
+        better = (
+            self.log10_success > other.log10_success
+            or self.execution_time_s < other.execution_time_s
+            or self.transport_ops < other.transport_ops
+        )
+        return no_worse and better
+
+    def summary(self) -> str:
+        labels = ", ".join(f"{k}={v}" for k, v in self.assignments.items())
+        return (
+            f"{labels}: log10={self.log10_success:.4f} "
+            f"t_exec={self.execution_time_s:.4f}s "
+            f"transport={self.transport_ops}"
+        )
+
+
+@dataclass(frozen=True)
+class RungRecord:
+    """One rung of a strategy run: budget, population, survivors."""
+
+    shots: int
+    num_candidates: int
+    promoted: int
+
+
+@dataclass(frozen=True)
+class KnobSensitivity:
+    """Marginal attribution of one knob.
+
+    ``per_value`` maps each value label to the mean log10 success of the
+    full-fidelity points using it; ``range_decades`` is the spread of
+    those marginal means — how many decades of success the knob moves on
+    its own, averaged over the rest of the space.
+    """
+
+    knob: str
+    range_decades: float
+    per_value: dict[str, float]
+
+
+def pareto_front(points: list[SearchPoint]) -> list[SearchPoint]:
+    """The non-dominated subset of *points*, in input order."""
+    return [
+        point for point in points
+        if not any(other.dominates(point) for other in points)
+    ]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one strategy run over one search space."""
+
+    strategy: str
+    knobs: dict[str, list[str]]
+    points: list[SearchPoint]
+    rungs: list[RungRecord] = field(default_factory=list)
+    num_jobs: int = 0
+    engine_stats: dict[str, float] | None = None
+
+    # ------------------------------------------------------------------
+    # Multi-objective views
+    # ------------------------------------------------------------------
+    def pareto_front(self) -> list[SearchPoint]:
+        """Non-dominated full-fidelity points (success vs time vs work)."""
+        return pareto_front(self.points)
+
+    def best(self) -> SearchPoint:
+        """The highest-success Pareto point (ties: first in point order)."""
+        front = self.pareto_front()
+        if not front:
+            raise ReproError("search produced no evaluated points")
+        return max(front, key=lambda point: point.score)
+
+    def sensitivity(self) -> list[KnobSensitivity]:
+        """Per-knob marginal means of log10 success over the final points.
+
+        Knobs with a single value (or a single surviving value among the
+        evaluated points) report a zero range.  Points with a non-finite
+        score are excluded from the means; a value whose every point is
+        non-finite is reported as ``-inf``.
+        """
+        rows: list[KnobSensitivity] = []
+        for position, (name, labels) in enumerate(self.knobs.items()):
+            per_value: dict[str, float] = {}
+            for index, label in enumerate(labels):
+                scores = [
+                    point.score for point in self.points
+                    if point.candidate[position] == index
+                    and math.isfinite(point.score)
+                ]
+                evaluated = any(
+                    point.candidate[position] == index for point in self.points
+                )
+                if scores:
+                    per_value[label] = sum(scores) / len(scores)
+                elif evaluated:
+                    per_value[label] = float("-inf")
+            finite = [v for v in per_value.values() if math.isfinite(v)]
+            spread = (max(finite) - min(finite)) if len(finite) > 1 else 0.0
+            rows.append(KnobSensitivity(
+                knob=name, range_decades=spread, per_value=per_value,
+            ))
+        return rows
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        """Plain-JSON form (the CI artifact next to ``bench-small.json``)."""
+        front_keys = {point.candidate for point in self.pareto_front()}
+        return {
+            "strategy": self.strategy,
+            "knobs": {name: list(labels) for name, labels in self.knobs.items()},
+            "objectives": list(OBJECTIVES),
+            "num_jobs": self.num_jobs,
+            "points": [
+                {
+                    "candidate": list(point.candidate),
+                    "assignments": dict(point.assignments),
+                    "shots": point.shots,
+                    "success_rate": point.success_rate,
+                    "log10_success": point.log10_success,
+                    "execution_time_s": point.execution_time_s,
+                    "num_swaps": point.num_swaps,
+                    "num_moves": point.num_moves,
+                    "num_jobs": point.num_jobs,
+                    "pareto": point.candidate in front_keys,
+                }
+                for point in self.points
+            ],
+            "rungs": [
+                {
+                    "shots": rung.shots,
+                    "num_candidates": rung.num_candidates,
+                    "promoted": rung.promoted,
+                }
+                for rung in self.rungs
+            ],
+            "sensitivity": {
+                row.knob: {
+                    "range_decades": row.range_decades,
+                    "per_value": dict(row.per_value),
+                }
+                for row in self.sensitivity()
+            },
+            "engine_stats": self.engine_stats,
+        }
+
+    def summary(self) -> str:
+        front = self.pareto_front()
+        best = self.best()
+        return (
+            f"{self.strategy}: {len(self.points)} candidates evaluated "
+            f"({self.num_jobs} engine jobs), {len(front)} on the Pareto "
+            f"front; best {best.summary()}"
+        )
+
+
+def search_result_from_json(payload: Mapping[str, Any]) -> SearchResult:
+    """Rebuild a :class:`SearchResult` from :meth:`SearchResult.to_json`."""
+    points = [
+        SearchPoint(
+            candidate=tuple(entry["candidate"]),
+            assignments=dict(entry["assignments"]),
+            shots=int(entry["shots"]),
+            success_rate=float(entry["success_rate"]),
+            log10_success=float(entry["log10_success"]),
+            execution_time_s=float(entry["execution_time_s"]),
+            num_swaps=int(entry["num_swaps"]),
+            num_moves=int(entry["num_moves"]),
+            num_jobs=int(entry.get("num_jobs", 1)),
+        )
+        for entry in payload["points"]
+    ]
+    rungs = [
+        RungRecord(
+            shots=int(entry["shots"]),
+            num_candidates=int(entry["num_candidates"]),
+            promoted=int(entry["promoted"]),
+        )
+        for entry in payload.get("rungs", [])
+    ]
+    stats = payload.get("engine_stats")
+    return SearchResult(
+        strategy=str(payload["strategy"]),
+        knobs={name: list(labels)
+               for name, labels in payload["knobs"].items()},
+        points=points,
+        rungs=rungs,
+        num_jobs=int(payload.get("num_jobs", 0)),
+        engine_stats=dict(stats) if stats is not None else None,
+    )

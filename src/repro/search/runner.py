@@ -1,0 +1,143 @@
+"""The search runner: strategies in, engine batches out.
+
+:func:`run_search` is the only place a search touches the execution
+engine.  Each strategy-requested evaluation round becomes *one* engine
+batch (every candidate's jobs, shards included, submitted together), so
+
+* identical points across rungs / strategies are content-hash cache hits,
+* duplicate specs inside a round collapse to one execution, and
+* ``workers > 1`` fans the whole round out over the process pool
+
+with no strategy-side code.  Results are assembled in candidate order
+from a batch the engine returns in submission order, and no wall-clock
+timing lands on the points, so a search is bit-identical for any
+``workers=`` split (pinned by ``tests/test_search.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ReproError
+from repro.exec import ExecutionEngine, JobResult, run_jobs
+from repro.exec.engine import default_engine
+from repro.search.result import SearchPoint, SearchResult
+from repro.search.space import Candidate, SearchSpace
+from repro.search.strategies import SearchStrategy
+from repro.sim.stochastic import merge_shot_results
+
+#: EngineStats counters that accumulate (and therefore diff cleanly).
+_COUNTER_KEYS = ("jobs_submitted", "jobs_executed", "cache_hits",
+                 "deduplicated", "execution_time_s", "batch_time_s")
+
+
+def _stats_delta(before: dict[str, float],
+                 after: dict[str, float]) -> dict[str, float]:
+    """What one search added to a (possibly shared) engine's counters."""
+    delta = {key: after[key] - before[key] for key in _COUNTER_KEYS}
+    submitted = delta["jobs_submitted"]
+    delta["cache_misses"] = (
+        submitted - delta["cache_hits"] - delta["deduplicated"]
+    )
+    delta["cache_hit_rate"] = (
+        delta["cache_hits"] / submitted if submitted else 0.0
+    )
+    return delta
+
+
+def _point_from_results(space: SearchSpace, candidate: Candidate,
+                        shots: int, results: Sequence[JobResult],
+                        ) -> SearchPoint:
+    """Fold one candidate's finished jobs (1 or ``shards``) into a point."""
+    first = results[0]
+    simulation = first.simulation
+    if simulation is None:
+        raise ReproError(
+            f"search evaluation {first.label or first.key} returned no "
+            "simulation outcome"
+        )
+    if shots:
+        merged = merge_shot_results(
+            [result.shot for result in results if result.shot is not None]
+        )
+        scored = merged.to_simulation_result()
+        success_rate = scored.success_rate
+        log10_success = scored.log10_success_rate
+    else:
+        success_rate = simulation.success_rate
+        log10_success = simulation.log10_success_rate
+    return SearchPoint(
+        candidate=tuple(candidate),
+        assignments=space.labels(candidate),
+        shots=shots,
+        success_rate=success_rate,
+        log10_success=log10_success,
+        # time and transport are architectural estimates, identical for
+        # the analytic and sampled evaluations of one candidate
+        execution_time_s=simulation.execution_time_s,
+        num_swaps=first.stats.num_swaps if first.stats else 0,
+        num_moves=simulation.num_moves,
+        num_jobs=len(results),
+    )
+
+
+def run_search(space: SearchSpace, strategy: SearchStrategy, *,
+               engine: ExecutionEngine | None = None,
+               workers: int | None = None) -> SearchResult:
+    """Explore *space* with *strategy* through the execution engine.
+
+    Parameters
+    ----------
+    space:
+        The declarative design space (knobs, base configuration, shot
+        budget).
+    strategy:
+        A :class:`~repro.search.strategies.SearchStrategy` — grid,
+        random, successive halving, or anything implementing the
+        protocol.
+    engine, workers:
+        Standard engine controls (see :func:`repro.exec.run_jobs`): an
+        explicit engine shares its cache with other callers; ``workers``
+        overrides the pool size for this search's batches only.
+
+    Returns
+    -------
+    SearchResult
+        Full-fidelity points in lattice order, rung history, the number
+        of engine jobs this search submitted, and the engine-stats delta
+        it caused (cache-hit accounting for CI artifacts).
+    """
+    chosen = engine if engine is not None else default_engine()
+    before = chosen.stats.to_dict()
+    submitted = 0
+
+    def evaluate(candidates: Sequence[Candidate],
+                 shots: int) -> list[SearchPoint]:
+        nonlocal submitted
+        specs = []
+        chunks: list[tuple[Candidate, int]] = []
+        for candidate in candidates:
+            candidate_specs = space.evaluation_specs(candidate, shots)
+            chunks.append((candidate, len(candidate_specs)))
+            specs.extend(candidate_specs)
+        submitted += len(specs)
+        results = run_jobs(specs, workers=workers, engine=chosen)
+        points: list[SearchPoint] = []
+        offset = 0
+        for candidate, count in chunks:
+            points.append(_point_from_results(
+                space, candidate, shots, results[offset:offset + count],
+            ))
+            offset += count
+        return points
+
+    points, rungs = strategy.run(space, evaluate)
+    points = sorted(points, key=lambda point: point.candidate)
+    return SearchResult(
+        strategy=strategy.name,
+        knobs=space.knob_labels(),
+        points=points,
+        rungs=rungs,
+        num_jobs=submitted,
+        engine_stats=_stats_delta(before, chosen.stats.to_dict()),
+    )

@@ -1,0 +1,176 @@
+"""Pluggable search strategies: grid, seeded random, successive halving.
+
+A strategy decides *which* candidates to evaluate and *at what budget*;
+the runner (:func:`repro.search.runner.run_search`) owns *how* — every
+evaluation compiles to engine jobs, so caching, dedup and process-pool
+fan-out apply to any strategy for free.  Strategies talk to the runner
+through a single callback::
+
+    evaluate(candidates, shots) -> list[SearchPoint]
+
+which scores the given candidates at the given shot budget (``0`` =
+exact analytic model) and returns one point per candidate, in order.
+Candidate selection never depends on evaluation timing, so a fixed-seed
+strategy issues the same jobs — and produces bit-identical results — for
+any ``workers=`` split.
+
+To add a strategy, subclass :class:`SearchStrategy`, implement
+:meth:`~SearchStrategy.run` returning ``(final_points, rung_records)``
+where the final points are full-fidelity evaluations, and give it a
+``name`` (it tags results and reports).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Protocol, Sequence
+
+from repro.exceptions import ReproError
+from repro.search.result import RungRecord, SearchPoint
+from repro.search.space import Candidate, SearchSpace
+
+#: The runner-provided scoring callback.
+EvaluateFn = Callable[[Sequence[Candidate], int], "list[SearchPoint]"]
+
+
+class SearchStrategy(Protocol):
+    """The strategy interface (structural: any object with these works)."""
+
+    name: str
+
+    def run(self, space: SearchSpace, evaluate: EvaluateFn,
+            ) -> tuple[list[SearchPoint], list[RungRecord]]:
+        """Explore *space*, returning full-fidelity points + rung history."""
+        ...  # pragma: no cover - protocol definition
+
+
+def _valid_lattice(space: SearchSpace) -> list[Candidate]:
+    candidates = space.valid_candidates()
+    if not candidates:
+        raise ReproError("search space has no valid candidates")
+    return candidates
+
+
+class GridStrategy:
+    """Exhaustive search: every valid candidate at full fidelity."""
+
+    name = "grid"
+
+    def run(self, space: SearchSpace, evaluate: EvaluateFn,
+            ) -> tuple[list[SearchPoint], list[RungRecord]]:
+        candidates = _valid_lattice(space)
+        points = evaluate(candidates, space.shots)
+        record = RungRecord(shots=space.shots,
+                            num_candidates=len(candidates),
+                            promoted=len(candidates))
+        return points, [record]
+
+
+class RandomStrategy:
+    """Seeded uniform sampling of the lattice (without replacement).
+
+    ``num_samples`` caps the evaluations; when the space is smaller the
+    strategy degenerates to a grid.  Selection uses its own
+    ``random.Random(seed)`` stream and finishes before any evaluation
+    starts, so a fixed seed fixes the candidate set regardless of worker
+    count or shard split.
+    """
+
+    name = "random"
+
+    def __init__(self, num_samples: int, seed: int = 0) -> None:
+        if num_samples < 1:
+            raise ReproError(f"num_samples must be >= 1, got {num_samples}")
+        self.num_samples = num_samples
+        self.seed = seed
+
+    def run(self, space: SearchSpace, evaluate: EvaluateFn,
+            ) -> tuple[list[SearchPoint], list[RungRecord]]:
+        valid = _valid_lattice(space)
+        if self.num_samples >= len(valid):
+            chosen = valid
+        else:
+            rng = random.Random(self.seed)
+            chosen = sorted(rng.sample(valid, self.num_samples))
+        points = evaluate(chosen, space.shots)
+        record = RungRecord(shots=space.shots, num_candidates=len(chosen),
+                            promoted=len(chosen))
+        return points, [record]
+
+
+class SuccessiveHalvingStrategy:
+    """Early stopping: score everyone cheaply, promote survivors.
+
+    Rung ``r`` evaluates the surviving candidates at ``rungs[r]`` shots
+    (``0`` = the exact analytic model — one cheap engine job per
+    candidate) and keeps the top ``ceil(n / eta)`` by log10 success for
+    the next rung; the last rung always runs at the space's full
+    fidelity.  With a sampled space (``shots > 0``, ``shards > 1``) a
+    full-fidelity evaluation costs ``shards`` engine jobs, so pruning
+    before the last rung issues measurably fewer jobs than an exhaustive
+    grid while still scoring every survivor with exactly the grid's
+    specs (same content hashes, bit-identical values).
+
+    ``rungs`` defaults to ``(0, shots)`` — analytic triage, then full
+    sampling.  For an analytic-only space (``shots == 0``) there is
+    nothing cheaper than full fidelity, so the default single rung
+    degenerates to a grid.
+    """
+
+    name = "successive_halving"
+
+    def __init__(self, eta: int = 2, rungs: Sequence[int] | None = None,
+                 min_survivors: int = 2) -> None:
+        if eta < 2:
+            raise ReproError(f"eta must be >= 2, got {eta}")
+        if min_survivors < 1:
+            raise ReproError(
+                f"min_survivors must be >= 1, got {min_survivors}"
+            )
+        self.eta = eta
+        self.rungs = tuple(rungs) if rungs is not None else None
+        self.min_survivors = min_survivors
+
+    def _budgets(self, space: SearchSpace) -> tuple[int, ...]:
+        if self.rungs is None:
+            return (0, space.shots) if space.shots else (0,)
+        budgets = self.rungs
+        if any(b < 0 for b in budgets):
+            raise ReproError(f"rung budgets must be >= 0: {budgets}")
+        if list(budgets) != sorted(set(budgets)):
+            raise ReproError(
+                f"rung budgets must be strictly increasing: {budgets}"
+            )
+        if budgets[-1] != space.shots:
+            raise ReproError(
+                f"the last rung must run at full fidelity "
+                f"(shots={space.shots}), got {budgets[-1]}"
+            )
+        return budgets
+
+    def run(self, space: SearchSpace, evaluate: EvaluateFn,
+            ) -> tuple[list[SearchPoint], list[RungRecord]]:
+        budgets = self._budgets(space)
+        candidates = _valid_lattice(space)
+        records: list[RungRecord] = []
+        for rung, budget in enumerate(budgets):
+            points = evaluate(candidates, budget)
+            if rung + 1 == len(budgets):
+                records.append(RungRecord(
+                    shots=budget, num_candidates=len(candidates),
+                    promoted=len(candidates),
+                ))
+                return points, records
+            keep = max(self.min_survivors,
+                       math.ceil(len(candidates) / self.eta))
+            keep = min(keep, len(candidates))
+            # sort is stable, so score ties keep lattice order; survivors
+            # are re-sorted into lattice order for deterministic batches
+            ranked = sorted(points, key=lambda p: p.score, reverse=True)
+            survivors = sorted(point.candidate for point in ranked[:keep])
+            records.append(RungRecord(
+                shots=budget, num_candidates=len(candidates), promoted=keep,
+            ))
+            candidates = survivors
+        raise ReproError("successive halving needs at least one rung")

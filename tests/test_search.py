@@ -1,0 +1,508 @@
+"""Tests for the repro.search design-space exploration subsystem."""
+
+import json
+import math
+
+import pytest
+
+from repro.arch.qccd import QccdDevice
+from repro.arch.tilt import TiltDevice
+from repro.core.sweep import max_swap_len_sweep
+from repro.exceptions import ReproError
+from repro.exec import ExecutionEngine
+from repro.exec.engine import reset_default_engine
+from repro.noise.parameters import NoiseParameters
+from repro.search import (
+    GridStrategy,
+    RandomStrategy,
+    SearchPoint,
+    SearchResult,
+    SearchSpace,
+    SuccessiveHalvingStrategy,
+    architecture_knob,
+    config_knob,
+    device_knob,
+    noise_knob,
+    pareto_front,
+    run_search,
+    scenario_knob,
+    search_result_from_json,
+)
+from repro.workloads.bv import bv_workload
+from repro.workloads.qft import qft_workload
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_engine():
+    """Keep the process-wide engine out of these tests."""
+    reset_default_engine()
+    yield
+    reset_default_engine()
+
+
+def _qft_space(**overrides) -> SearchSpace:
+    """The acceptance space: QFT-16 on a 16-ion tape with an 8-laser head."""
+    settings = dict(
+        circuit=qft_workload(16),
+        device=TiltDevice(num_qubits=16, head_size=8),
+        knobs=[config_knob("max_swap_len", [7, 6, 5, 4])],
+        config=None,
+        noise=NoiseParameters.paper_defaults(),
+    )
+    settings.update(overrides)
+    return SearchSpace(**settings)
+
+
+def _point(candidate, log10, time_s, swaps, moves=0) -> SearchPoint:
+    return SearchPoint(
+        candidate=candidate, assignments={"k": str(candidate[0])}, shots=0,
+        success_rate=10.0 ** log10 if math.isfinite(log10) else 0.0,
+        log10_success=log10, execution_time_s=time_s,
+        num_swaps=swaps, num_moves=moves,
+    )
+
+
+class TestSearchSpace:
+    def test_size_and_candidates(self):
+        space = _qft_space(knobs=[
+            config_knob("max_swap_len", [7, 5]),
+            config_knob("mapper", ["trivial", "greedy"]),
+        ])
+        assert space.size == 4
+        assert list(space.candidates()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert space.labels((1, 0)) == {"max_swap_len": "5",
+                                        "mapper": "trivial"}
+        assert space.describe((0, 1)) == "max_swap_len=7, mapper=greedy"
+
+    def test_duplicate_knob_names_rejected(self):
+        with pytest.raises(ReproError):
+            _qft_space(knobs=[config_knob("max_swap_len", [7]),
+                              config_knob("max_swap_len", [5])])
+
+    def test_invalid_combinations_are_skipped_not_fatal(self):
+        # a 24-laser head cannot sit on a 16-ion tape: invalid, not fatal
+        space = _qft_space(knobs=[device_knob("head_size", [8, 24])])
+        assert not space.is_valid((1,))
+        assert space.valid_candidates() == [(0,)]
+
+    def test_device_knob_unknown_on_candidate_device_class_is_invalid(self):
+        # regression: head_size on a QccdDevice candidate (an
+        # architecture knob composed with a geometry knob) used to raise
+        # TypeError out of valid_candidates() instead of being skipped
+        space = SearchSpace(
+            circuit=qft_workload(16),
+            device=TiltDevice(num_qubits=16, head_size=8),
+            knobs=[
+                architecture_knob({
+                    "TILT": ("tilt", TiltDevice(num_qubits=16, head_size=8)),
+                    "QCCD": ("qccd", QccdDevice(num_qubits=16,
+                                                trap_capacity=5)),
+                }),
+                device_knob("head_size", [8, 6]),
+            ],
+        )
+        assert space.valid_candidates() == [(0, 0), (0, 1)]
+
+    def test_device_narrower_than_circuit_is_invalid(self):
+        # regression: shrinking the tape below the circuit width used to
+        # pass is_valid and abort the search with CompilationError
+        # inside an engine worker
+        space = _qft_space(knobs=[device_knob("num_qubits", [16, 12])])
+        assert space.valid_candidates() == [(0,)]
+
+    def test_cross_knob_swap_len_vs_head_geometry_is_invalid(self):
+        # regression: max_swap_len=7 on a 6-laser head used to pass
+        # is_valid and blow up with RoutingError inside an engine worker
+        space = _qft_space(knobs=[
+            config_knob("max_swap_len", [7, 4]),
+            device_knob("head_size", [8, 6]),
+        ])
+        assert space.is_valid((0, 0))      # 7 under head 8 (span 7)
+        assert not space.is_valid((0, 1))  # 7 under head 6 (span 5)
+        assert space.is_valid((1, 1))      # 4 under head 6
+        result = run_search(space, GridStrategy(),
+                            engine=ExecutionEngine(workers=1))
+        assert len(result.points) == 3
+
+    def test_build_spec_matches_sweep_spec(self):
+        from repro.core.sweep import sweep_job
+        from repro.exec import spec_key
+        from repro.compiler.pipeline import CompilerConfig
+
+        space = _qft_space()
+        spec = space.build_spec((1,))
+        expected = sweep_job(
+            space.circuit, space.device,
+            CompilerConfig().with_overrides(max_swap_len=6),
+            space.noise,
+        )
+        assert spec_key(spec) == spec_key(expected)
+
+    def test_device_and_noise_knobs_apply(self):
+        space = _qft_space(knobs=[
+            device_knob("head_size", [8, 6]),
+            noise_knob("tilt_cooling_interval_moves", [0, 4]),
+        ])
+        spec = space.build_spec((1, 1))
+        assert spec.device.head_size == 6
+        assert spec.noise.tilt_cooling_interval_moves == 4
+
+    def test_qccd_trap_capacity_rederives_trap_count(self):
+        space = SearchSpace(
+            circuit=qft_workload(16),
+            device=QccdDevice(num_qubits=16, trap_capacity=5),
+            backend="qccd",
+            knobs=[device_knob("trap_capacity", [5, 9])],
+        )
+        assert space.build_spec((0,)).device.num_traps == 4
+        assert space.build_spec((1,)).device.num_traps == 2
+
+    def test_architecture_knob_switches_backend_and_device(self):
+        space = SearchSpace(
+            circuit=qft_workload(16),
+            device=TiltDevice(num_qubits=16, head_size=8),
+            knobs=[architecture_knob({
+                "TILT head 8": ("tilt", TiltDevice(num_qubits=16, head_size=8)),
+                "QCCD cap 5": ("qccd", QccdDevice(num_qubits=16,
+                                                  trap_capacity=5)),
+            })],
+        )
+        tilt_spec = space.build_spec((0,))
+        qccd_spec = space.build_spec((1,))
+        assert tilt_spec.backend == "tilt"
+        assert qccd_spec.backend == "qccd"
+        assert isinstance(qccd_spec.device, QccdDevice)
+        assert qccd_spec.config is None  # compiler knob dropped off-TILT
+
+    def test_scenario_knob_validates_names(self):
+        with pytest.raises(ReproError):
+            scenario_knob(["baseline", "not_a_scenario"])
+
+    def test_sampled_evaluation_fans_out_into_shards(self):
+        space = _qft_space(shots=100, seed=3, shards=4)
+        specs = space.evaluation_specs((0,))
+        assert len(specs) == 4
+        assert sum(spec.shots for spec in specs) == 100
+        assert [spec.shot_offset for spec in specs] == [0, 25, 50, 75]
+        # the cheap analytic rung is always a single job
+        assert len(space.evaluation_specs((0,), shots=0)) == 1
+
+
+class TestParetoAndSensitivity:
+    def test_pareto_front_extraction(self):
+        points = [
+            _point((0,), -1.0, 2.0, 10),   # dominated by (1,)
+            _point((1,), -0.5, 1.0, 5),    # front
+            _point((2,), -0.4, 3.0, 20),   # front (best success)
+            _point((3,), -2.0, 0.5, 1),    # front (cheapest)
+        ]
+        front = pareto_front(points)
+        assert [p.candidate for p in front] == [(1,), (2,), (3,)]
+
+    def test_duplicate_objectives_both_survive(self):
+        points = [_point((0,), -1.0, 1.0, 5), _point((1,), -1.0, 1.0, 5)]
+        assert len(pareto_front(points)) == 2
+
+    def test_best_is_highest_success_front_member(self):
+        result = SearchResult(
+            strategy="grid", knobs={"k": ["0", "1", "2"]},
+            points=[_point((0,), -1.0, 1.0, 5), _point((1,), -0.2, 9.0, 9),
+                    _point((2,), -3.0, 0.1, 1)],
+        )
+        assert result.best().candidate == (1,)
+
+    def test_sensitivity_marginal_means(self):
+        result = SearchResult(
+            strategy="grid", knobs={"a": ["x", "y"], "b": ["p", "q"]},
+            points=[
+                SearchPoint((0, 0), {"a": "x", "b": "p"}, 0, 0.1, -1.0,
+                            1.0, 0, 0),
+                SearchPoint((0, 1), {"a": "x", "b": "q"}, 0, 0.01, -2.0,
+                            1.0, 0, 0),
+                SearchPoint((1, 0), {"a": "y", "b": "p"}, 0, 0.001, -3.0,
+                            1.0, 0, 0),
+                SearchPoint((1, 1), {"a": "y", "b": "q"}, 0, 0.0001, -4.0,
+                            1.0, 0, 0),
+            ],
+        )
+        rows = {row.knob: row for row in result.sensitivity()}
+        assert rows["a"].per_value == {"x": -1.5, "y": -3.5}
+        assert rows["a"].range_decades == pytest.approx(2.0)
+        assert rows["b"].range_decades == pytest.approx(1.0)
+
+    def test_sensitivity_ignores_non_finite_scores(self):
+        result = SearchResult(
+            strategy="grid", knobs={"a": ["x", "y"]},
+            points=[_point((0,), -1.0, 1.0, 5),
+                    _point((1,), float("-inf"), 1.0, 5)],
+        )
+        (row,) = result.sensitivity()
+        assert row.per_value["x"] == -1.0
+        assert row.per_value["y"] == float("-inf")
+        assert row.range_decades == 0.0
+
+
+class TestGridStrategy:
+    def test_grid_reproduces_ad_hoc_sweep_point_for_point(self, tilt16):
+        engine = ExecutionEngine(workers=1)
+        circuit = bv_workload(16)
+        sweep = max_swap_len_sweep(circuit, tilt16, [7, 6, 5, 4],
+                                   engine=engine)
+        space = SearchSpace(
+            circuit=circuit, device=tilt16,
+            knobs=[config_knob("max_swap_len", [7, 6, 5, 4])],
+        )
+        result = run_search(space, GridStrategy(), engine=engine)
+        assert [
+            (point.log10_success, point.num_swaps, point.num_moves,
+             point.execution_time_s)
+            for point in result.points
+        ] == [
+            (p.log10_success_rate, p.num_swaps, p.num_moves,
+             p.execution_time_s)
+            for p in sweep
+        ]
+        # identical configurations = identical content hashes: the whole
+        # search is served from the sweep's cache entries
+        assert result.engine_stats["cache_hit_rate"] == 1.0
+
+    def test_grid_results_bit_identical_across_workers(self):
+        space = _qft_space(shots=200, seed=2021, shards=4)
+        serial = run_search(space, GridStrategy(),
+                            engine=ExecutionEngine(workers=1))
+        pooled = run_search(space, GridStrategy(),
+                            engine=ExecutionEngine(workers=4))
+        assert serial.points == pooled.points
+        assert serial.rungs == pooled.rungs
+        assert serial.num_jobs == pooled.num_jobs
+        serial_json = serial.to_json()
+        pooled_json = pooled.to_json()
+        serial_json.pop("engine_stats")  # wall-clock timings may differ
+        pooled_json.pop("engine_stats")
+        assert serial_json == pooled_json
+
+
+class TestRandomStrategy:
+    def test_fixed_seed_is_invariant_to_workers_and_shards(self):
+        sampled = dict(shots=120, seed=5)
+        serial = run_search(
+            _qft_space(shards=1, **sampled), RandomStrategy(3, seed=9),
+            engine=ExecutionEngine(workers=1),
+        )
+        pooled = run_search(
+            _qft_space(shards=4, **sampled), RandomStrategy(3, seed=9),
+            engine=ExecutionEngine(workers=4),
+        )
+        assert [p.candidate for p in serial.points] == [
+            p.candidate for p in pooled.points
+        ]
+        # shard split changes the work breakdown, never the scores
+        assert [
+            (p.success_rate, p.log10_success, p.execution_time_s)
+            for p in serial.points
+        ] == [
+            (p.success_rate, p.log10_success, p.execution_time_s)
+            for p in pooled.points
+        ]
+
+    def test_different_seeds_pick_different_candidates(self):
+        space = _qft_space(knobs=[
+            config_knob("max_swap_len", [7, 6, 5, 4]),
+            config_knob("alpha", [0.9, 0.95, 0.98]),
+        ])
+
+        def fake_evaluate(candidates, shots):
+            return [_point(candidate, -1.0, 1.0, 0)
+                    for candidate in candidates]
+
+        picks = {}
+        for seed in (0, 1, 2, 3):
+            points, _ = RandomStrategy(4, seed=seed).run(space, fake_evaluate)
+            picks[seed] = tuple(point.candidate for point in points)
+            assert len(picks[seed]) == 4
+        assert len(set(picks.values())) > 1
+
+    def test_sampling_more_than_the_lattice_degenerates_to_grid(self):
+        space = _qft_space()
+        result = run_search(space, RandomStrategy(100, seed=1),
+                            engine=ExecutionEngine(workers=1))
+        assert len(result.points) == 4
+
+
+class TestSuccessiveHalving:
+    def test_matches_grid_pareto_with_fewer_jobs(self):
+        """The acceptance criterion: same Pareto-optimal MaxSwapLen on the
+        QFT-16 / tilt-16 space, measurably fewer engine jobs."""
+        space = _qft_space(shots=2000, seed=2021, shards=4)
+        grid_engine = ExecutionEngine(workers=1)
+        grid = run_search(space, GridStrategy(), engine=grid_engine)
+        halving_engine = ExecutionEngine(workers=1)
+        halving = run_search(space, SuccessiveHalvingStrategy(),
+                             engine=halving_engine)
+        # same winner, identical full-fidelity values for it
+        assert halving.best().assignments == grid.best().assignments
+        assert halving.best() == grid.best()
+        # measurably fewer engine jobs, on both accountings
+        assert halving.num_jobs < grid.num_jobs
+        assert (halving_engine.stats.jobs_submitted
+                < grid_engine.stats.jobs_submitted)
+        assert (halving_engine.stats.jobs_executed
+                < grid_engine.stats.jobs_executed)
+        # and the survivors' sampled points match the grid's bit for bit
+        grid_by_candidate = {p.candidate: p for p in grid.points}
+        for point in halving.points:
+            assert point == grid_by_candidate[point.candidate]
+
+    def test_rung_schedule_recorded(self):
+        space = _qft_space(shots=400, seed=1, shards=2)
+        result = run_search(space, SuccessiveHalvingStrategy(),
+                            engine=ExecutionEngine(workers=1))
+        assert [(r.shots, r.num_candidates, r.promoted)
+                for r in result.rungs] == [(0, 4, 2), (400, 2, 2)]
+        # 4 analytic jobs + 2 survivors x 2 shards
+        assert result.num_jobs == 8
+
+    def test_results_bit_identical_across_workers(self):
+        space = _qft_space(shots=400, seed=2021, shards=4)
+        serial = run_search(space, SuccessiveHalvingStrategy(),
+                            engine=ExecutionEngine(workers=1))
+        pooled = run_search(space, SuccessiveHalvingStrategy(),
+                            engine=ExecutionEngine(workers=4))
+        assert serial.points == pooled.points
+        assert serial.rungs == pooled.rungs
+
+    def test_analytic_space_degenerates_to_single_rung(self):
+        space = _qft_space()  # shots=0: nothing cheaper than full fidelity
+        result = run_search(space, SuccessiveHalvingStrategy(),
+                            engine=ExecutionEngine(workers=1))
+        assert len(result.rungs) == 1
+        assert len(result.points) == 4
+
+    def test_invalid_rung_schedules_rejected(self):
+        space = _qft_space(shots=100)
+        with pytest.raises(ReproError):
+            run_search(space, SuccessiveHalvingStrategy(rungs=(0, 50)),
+                       engine=ExecutionEngine(workers=1))
+        with pytest.raises(ReproError):
+            run_search(space, SuccessiveHalvingStrategy(rungs=(50, 0, 100)),
+                       engine=ExecutionEngine(workers=1))
+
+
+class TestResultSerialisation:
+    def test_json_round_trip(self):
+        space = _qft_space(shots=150, seed=4, shards=3)
+        result = run_search(space, GridStrategy(),
+                            engine=ExecutionEngine(workers=1))
+        payload = json.loads(json.dumps(result.to_json()))
+        rebuilt = search_result_from_json(payload)
+        assert rebuilt.points == result.points
+        assert rebuilt.rungs == result.rungs
+        assert rebuilt.num_jobs == result.num_jobs
+        assert rebuilt.knobs == result.knobs
+        assert rebuilt.engine_stats == result.engine_stats
+        assert [p.candidate for p in rebuilt.pareto_front()] == [
+            p.candidate for p in result.pareto_front()
+        ]
+
+    def test_engine_stats_delta_is_search_local(self):
+        engine = ExecutionEngine(workers=1)
+        space = _qft_space()
+        first = run_search(space, GridStrategy(), engine=engine)
+        second = run_search(space, GridStrategy(), engine=engine)
+        assert first.engine_stats["jobs_executed"] == 4
+        assert first.engine_stats["cache_hit_rate"] == 0.0
+        # the second search reuses the first's cache; its *delta* shows it
+        assert second.engine_stats["jobs_executed"] == 0
+        assert second.engine_stats["cache_hit_rate"] == 1.0
+
+    def test_engine_stats_to_dict(self):
+        engine = ExecutionEngine(workers=1)
+        run_search(_qft_space(), GridStrategy(), engine=engine)
+        snapshot = engine.stats.to_dict()
+        assert snapshot["jobs_submitted"] == 4
+        assert snapshot["cache_misses"] == 4
+        assert snapshot["cache_hit_rate"] == 0.0
+        assert json.dumps(snapshot)  # plain JSON, no dataclasses inside
+
+
+class TestScenarioThreading:
+    def test_sweep_under_scenario_differs_from_baseline(self, tilt16):
+        engine = ExecutionEngine(workers=1)
+        circuit = bv_workload(16)
+        baseline = max_swap_len_sweep(circuit, tilt16, [7, 5], engine=engine)
+        stressed = max_swap_len_sweep(circuit, tilt16, [7, 5],
+                                      scenario="worst_case", engine=engine)
+        for base, stress in zip(baseline, stressed):
+            assert stress.log10_success_rate < base.log10_success_rate
+            # the structural outcome (compilation) is scenario-independent
+            assert stress.num_swaps == base.num_swaps
+            assert stress.num_moves == base.num_moves
+
+    def test_comparison_specs_carry_scenario(self):
+        from repro.core.comparison import comparison_specs
+
+        specs = comparison_specs(qft_workload(16), head_sizes=(8,),
+                                 qccd_trap_capacities=(5,),
+                                 scenario="crosstalk")
+        assert specs and all(spec.scenario == "crosstalk" for spec in specs)
+
+    def test_compare_architectures_under_scenario(self):
+        from repro.core.comparison import compare_architectures
+
+        engine = ExecutionEngine(workers=1)
+        baseline = compare_architectures(
+            bv_workload(16), head_sizes=(8,), qccd_trap_capacities=(5,),
+            engine=engine,
+        )
+        stressed = compare_architectures(
+            bv_workload(16), head_sizes=(8,), qccd_trap_capacities=(5,),
+            scenario="crosstalk", engine=engine,
+        )
+        for name in baseline.architectures():
+            assert (stressed.log10_success_rate(name)
+                    <= baseline.log10_success_rate(name))
+
+    def test_search_scenario_axis_spans_scenarios(self):
+        space = _qft_space(knobs=[
+            config_knob("max_swap_len", [7, 5]),
+            scenario_knob(("baseline", "crosstalk")),
+        ])
+        result = run_search(space, GridStrategy(),
+                            engine=ExecutionEngine(workers=1))
+        by_label = {
+            (p.assignments["max_swap_len"], p.assignments["scenario"]): p
+            for p in result.points
+        }
+        assert by_label[("7", "crosstalk")].log10_success < \
+            by_label[("7", "baseline")].log10_success
+
+
+class TestStudy:
+    def test_search_study_smoke(self):
+        from repro.analysis.search_study import (
+            report_from_results,
+            search_study,
+        )
+
+        results = search_study("small", shots=64)
+        assert set(results) == {"grid", "successive_halving"}
+        assert results["successive_halving"].num_jobs < \
+            results["grid"].num_jobs
+        report = report_from_results(results)
+        assert "Pareto table" in report
+        assert "Figure S2" in report
+
+    def test_write_search_json(self, tmp_path):
+        from repro.analysis.search_study import (
+            search_study,
+            write_search_json,
+        )
+
+        results = search_study("small", shots=0)
+        path = tmp_path / "search.json"
+        write_search_json(path, results, "small")
+        payload = json.loads(path.read_text())
+        assert payload["scale"] == "small"
+        grid = search_result_from_json(payload["strategies"]["grid"])
+        assert grid.points == results["grid"].points
+        assert grid.engine_stats is not None
