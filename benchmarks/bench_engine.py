@@ -74,6 +74,23 @@ def test_pooled_sweep_matches_serial(scale, noise):
     assert pooled == serial
 
 
+def test_backend_sweep_invariance(scale, noise):
+    """Every execution backend produces the serial sweep bit for bit."""
+    name = ROUTING_WORKLOADS[0]
+    circuit = build_workload(name, scale)
+    device = experiments.device_for(scale, name)
+    sweeps = {
+        backend: max_swap_len_sweep(
+            circuit, device,
+            base_config=experiments.ROUTING_STUDY_CONFIG, noise_params=noise,
+            engine=ExecutionEngine(workers=2, backend=backend),
+        )
+        for backend in ("serial", "process", "async")
+    }
+    assert sweeps["process"] == sweeps["serial"]
+    assert sweeps["async"] == sweeps["serial"]
+
+
 @pytest.mark.skipif((os.cpu_count() or 1) < 4,
                     reason="pool speedup needs at least 4 cores")
 def test_pooled_sweep_speedup(scale, noise):

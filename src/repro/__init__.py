@@ -48,6 +48,9 @@ from repro.exec import (
     JobResult,
     JobSpec,
     ResultCache,
+    RunManifest,
+    RunStore,
+    read_manifest,
     run_jobs,
     run_sampled_job,
 )
@@ -97,6 +100,8 @@ __all__ = [
     "QccdSimulator",
     "ReproError",
     "RoutingError",
+    "RunManifest",
+    "RunStore",
     "SchedulingError",
     "ShotResult",
     "SimulationError",
@@ -116,6 +121,7 @@ __all__ = [
     "max_swap_len_sweep",
     "merge_shot_results",
     "noise",
+    "read_manifest",
     "run_jobs",
     "run_sampled_job",
     "search",

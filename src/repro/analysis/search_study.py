@@ -22,6 +22,7 @@ import argparse
 import json
 import math
 import os
+import tempfile
 
 from repro.analysis import experiments
 from repro.analysis.tables import format_records
@@ -75,18 +76,33 @@ def study_space(scale: str | None = None, workload: str = "QFT",
 
 def search_study(scale: str | None = None, *,
                  shots: int = DEFAULT_SHOTS,
-                 workers: int | None = None) -> dict[str, SearchResult]:
+                 workers: int | None = None,
+                 store_root: str | None = None) -> dict[str, SearchResult]:
     """Grid and successive halving over the same space, fresh engine each.
 
     Separate engines keep the job accounting honest: the comparison
     shows what each strategy costs from cold, not what it costs after
     the other strategy warmed a shared cache.
+
+    The grid strategy runs *durably* — through a
+    :class:`~repro.exec.RunStore` at ``store_root`` (or a throwaway
+    temporary store when none is given) — so the report always carries a
+    real run manifest and ``--store`` makes the study resumable: rerun
+    with the same directory and completed jobs are skipped.
     """
     space = study_space(scale, shots=shots)
     results: dict[str, SearchResult] = {}
-    for strategy in (GridStrategy(), SuccessiveHalvingStrategy()):
+    with tempfile.TemporaryDirectory(prefix="search-store-") as scratch:
+        grid_root = store_root if store_root is not None else scratch
+        results["grid"] = run_search(
+            space, GridStrategy(), store=grid_root, workers=workers,
+        )
+        if store_root is None and results["grid"].manifest is not None:
+            # mark the scratch store so the report hides its random path
+            results["grid"].manifest.extra["throwaway_store"] = True
         engine = ExecutionEngine(workers=1 if workers is None else workers)
-        results[strategy.name] = run_search(space, strategy, engine=engine)
+        halving = SuccessiveHalvingStrategy()
+        results[halving.name] = run_search(space, halving, engine=engine)
     return results
 
 
@@ -204,6 +220,48 @@ def pareto_scatter(result: SearchResult) -> str:
     return "\n".join(lines)
 
 
+def manifest_summary(result: SearchResult) -> list[str]:
+    """Render the run manifest of a durable search (empty when absent).
+
+    The store path is hidden for the study's default throwaway store
+    (flagged in ``manifest.extra`` by :func:`search_study`): its random
+    temp path would make two otherwise-identical reports differ, and
+    the report contract is byte-identical output across reruns and
+    worker/backend splits.  A user-supplied ``--store`` path — even one
+    under the system temp dir — is always shown, since that is the path
+    to resume from.
+    """
+    manifest = result.manifest
+    if manifest is None:
+        return []
+    throwaway = bool(manifest.extra.get("throwaway_store"))
+    provenance = manifest.provenance
+    commit = provenance.get("git_commit") or "unknown"
+    dirty = provenance.get("git_dirty")
+    commit_line = str(commit)[:12] + (" (dirty)" if dirty else "")
+    stats = manifest.engine_stats
+    # completion counts planned keys only: a reused store may hold keys
+    # from other runs, which must not inflate this run's tally
+    done = len(set(manifest.spec_keys) & set(manifest.completed_keys))
+    return [
+        "Run manifest (durable store)",
+        f"  store:     "
+        f"{'(throwaway temp store)' if throwaway else manifest.store_root}",
+        f"  status:    {manifest.status}, "
+        f"{done}/{len(manifest.spec_keys)} jobs "
+        f"complete ({len(manifest.pending_keys)} pending)",
+        f"  backend:   {manifest.backend}",
+        f"  engine:    {int(stats.get('jobs_executed', 0))} executed, "
+        f"{int(stats.get('cache_hits', 0))} cache hits "
+        f"(hit rate {stats.get('cache_hit_rate', 0.0):.2f})",
+        f"  source:    commit {commit_line}, "
+        f"python {provenance.get('python', '?')}",
+        f"  sampling:  seed {provenance.get('seed')}, "
+        f"{provenance.get('shots')} shots",
+        "",
+    ]
+
+
 def report_from_results(results: dict[str, SearchResult]) -> str:
     """Render the report from already-computed results (no re-run)."""
     grid = results["grid"]
@@ -218,6 +276,7 @@ def report_from_results(results: dict[str, SearchResult]) -> str:
         "(MaxSwapLen x noise scenario)",
         strategy_table(results),
         "",
+        *manifest_summary(grid),
         "Successive-halving schedule",
         *rung_lines,
         "",
@@ -249,6 +308,15 @@ def write_search_json(path: str | os.PathLike[str],
         "strategies": {
             name: result.to_json() for name, result in results.items()
         },
+        # throwaway scratch-store manifests are omitted: their store
+        # root is deleted before this writes, so archiving it would bake
+        # a dangling, run-random path into an otherwise stable artifact
+        "manifests": {
+            name: result.manifest.to_json()
+            for name, result in results.items()
+            if result.manifest is not None
+            and not result.manifest.extra.get("throwaway_store")
+        },
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -265,9 +333,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="engine process-pool size (default: serial)")
     parser.add_argument("--out", default=None,
                         help="write the search JSON artifact to this path")
+    parser.add_argument("--store", default=None,
+                        help="durable RunStore directory for the grid "
+                             "search (rerun with the same directory to "
+                             "resume from completed jobs)")
     args = parser.parse_args(argv)
     scale = experiments.resolve_scale(args.scale)
-    results = search_study(scale, shots=args.shots, workers=args.workers)
+    results = search_study(scale, shots=args.shots, workers=args.workers,
+                           store_root=args.store)
     print(report_from_results(results))
     if args.out:
         write_search_json(args.out, results, scale)

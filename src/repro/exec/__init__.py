@@ -7,10 +7,14 @@ This package turns that unit into a declarative :class:`JobSpec` and runs
 batches of them through a shared :class:`ExecutionEngine` that
 
 * deduplicates identical specs inside a batch,
-* caches results by a content hash of the spec (in memory, and optionally
-  in an on-disk JSON cache that survives processes),
-* fans independent jobs out over a ``concurrent.futures`` process pool
-  (``workers=1`` is a fully serial, deterministic fallback), and
+* caches results by a content hash of the spec (in memory, in an on-disk
+  JSON :class:`ResultCache`, or in a durable append-only
+  :class:`RunStore` that survives interruptions and concurrent writers),
+* executes the unique misses on a pluggable :class:`Backend` —
+  :class:`SerialBackend` (deterministic in-process reference),
+  :class:`ProcessPoolBackend` (chunked, work-stealing process-pool
+  fan-out) or :class:`AsyncLocalBackend` (asyncio-driven local executor,
+  the extension point for remote backends) — all bit-identical, and
 * records per-job wall-clock timings plus batch-level counters.
 
 The sweep / comparison / experiment drivers in :mod:`repro.core` and
@@ -20,8 +24,22 @@ Sampled (Monte-Carlo) jobs add a ``shots=`` / ``seed=`` dimension to the
 spec; :func:`run_sampled_job` cuts one logical run into contiguous shot
 shards that the engine executes — and caches — like any other batch, then
 merges them bit-identically (see :mod:`repro.exec.sampling`).
+
+Long runs pair the engine with a :class:`RunStore`
+(``ExecutionEngine(store=...)``): every finished job is appended durably,
+a :class:`RunManifest` records the plan and its provenance, and a later
+engine on the same store resumes from exactly the completed jobs.
 """
 
+from repro.exec.backends import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    AsyncLocalBackend,
+    Backend,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
 from repro.exec.cache import ResultCache
 from repro.exec.engine import (
     EngineStats,
@@ -33,16 +51,33 @@ from repro.exec.engine import (
 )
 from repro.exec.jobs import JobResult, JobSpec, spec_key
 from repro.exec.sampling import run_sampled_job, shard_sampling_spec
+from repro.exec.store import (
+    RunManifest,
+    RunStore,
+    collect_provenance,
+    read_manifest,
+)
 
 __all__ = [
+    "AsyncLocalBackend",
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "Backend",
     "EngineStats",
     "ExecutionEngine",
     "JobResult",
     "JobSpec",
+    "ProcessPoolBackend",
     "ResultCache",
+    "RunManifest",
+    "RunStore",
+    "SerialBackend",
+    "collect_provenance",
     "default_engine",
     "execute_spec",
+    "read_manifest",
     "reset_default_engine",
+    "resolve_backend",
     "run_jobs",
     "run_sampled_job",
     "shard_sampling_spec",

@@ -5,20 +5,22 @@ objects and returns one :class:`~repro.exec.jobs.JobResult` per spec, in
 input order.  Work proceeds in three steps:
 
 1. **cache lookup** — specs whose content hash is already in the
-   :class:`~repro.exec.cache.ResultCache` are served immediately;
+   :class:`~repro.exec.cache.ResultCache` (or the durable
+   :class:`~repro.exec.store.RunStore`) are served immediately;
 2. **deduplication** — remaining specs with equal hashes collapse to one
    execution;
-3. **execution** — unique specs run either inline (``workers=1``, the
-   deterministic serial fallback) or across a
-   :class:`concurrent.futures.ProcessPoolExecutor`.
+3. **execution** — unique specs are handed to a pluggable
+   :class:`~repro.exec.backends.Backend`: serial in-process, a chunked
+   work-stealing process pool, or an asyncio-driven local executor (the
+   extension point for future remote backends).
 
 Because compilation is seeded, the analytic noise model is closed-form
 and stochastic sampling derives every shot's generator from ``(seed,
-global shot index)``, pooled and serial execution produce bit-identical
-results; the pool only changes wall-clock time.  Batch-level counters
-(cache hits/misses, jobs executed, per-job timings) accumulate on the
-engine for the acceptance checks and the progress report;
-``engine.stats.reset()`` zeroes them between measurement phases.
+global shot index)``, every backend produces bit-identical results; they
+differ only in wall-clock time.  Batch-level counters (cache hits/misses,
+jobs executed, per-job timings) accumulate on the engine for the
+acceptance checks and the progress report; ``engine.stats.reset()``
+zeroes them between measurement phases.
 """
 
 from __future__ import annotations
@@ -27,119 +29,36 @@ import concurrent.futures
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
-from repro.compiler.pipeline import CompilerConfig, LinQCompiler
-from repro.compiler.qccd_compiler import QccdCompiler
 from repro.exceptions import ReproError
+from repro.exec.backends import (
+    BACKEND_ENV_VAR,
+    Backend,
+    WORKERS_ENV_VAR,
+    execute_spec,
+    resolve_backend,
+    resolve_workers,
+)
 from repro.exec.cache import ResultCache
 from repro.exec.jobs import JobResult, JobSpec, spec_key
-from repro.noise.parameters import NoiseParameters
-from repro.noise.scenarios import get_scenario
-from repro.sim.ideal_sim import IdealSimulator
-from repro.sim.qccd_sim import QccdSimulator
-from repro.sim.tilt_sim import TiltSimulator
+from repro.exec.store import RunStore
 
-#: Environment variable holding the default worker count for new engines.
-WORKERS_ENV_VAR = "TILT_REPRO_WORKERS"
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "EngineStats",
+    "ExecutionEngine",
+    "WORKERS_ENV_VAR",
+    "default_engine",
+    "execute_spec",
+    "reset_default_engine",
+    "resolve_backend",
+    "resolve_workers",
+    "run_jobs",
+]
 
 #: Type of the optional progress callback: (jobs finished, total, result).
 ProgressCallback = Callable[[int, int, JobResult], None]
-
-
-def resolve_workers(workers: int | None) -> int:
-    """Normalise a worker count: explicit value, env var, or 1 (serial)."""
-    if workers is not None:
-        value = int(workers)
-    else:
-        raw = os.environ.get(WORKERS_ENV_VAR, "")
-        if not raw:
-            return 1
-        try:
-            value = int(raw)
-        except ValueError as exc:
-            raise ReproError(
-                f"{WORKERS_ENV_VAR}={raw!r} is not an integer"
-            ) from exc
-    if value == 0:
-        value = os.cpu_count() or 1
-    if value < 0:
-        raise ReproError(f"workers must be >= 0, got {value}")
-    return value
-
-
-# ----------------------------------------------------------------------
-# The worker function (module level so the process pool can pickle it)
-# ----------------------------------------------------------------------
-def execute_spec(spec: JobSpec, key: str | None = None) -> JobResult:
-    """Run one job to completion in the current process.
-
-    Specs with ``shots > 0`` additionally run the stochastic shot sampler
-    (:mod:`repro.sim.stochastic`) on top of the analytic simulation; the
-    sampled result lands on :attr:`JobResult.shot`.
-    """
-    key = key or spec_key(spec)
-    noise = spec.noise or NoiseParameters.paper_defaults()
-    scenario = get_scenario(spec.scenario)
-    start = time.perf_counter()
-    stats = None
-    simulation = None
-    shot = None
-    # For sampled jobs each simulator's run_stochastic evaluates the
-    # per-gate noise model once and derives the analytic result from that
-    # same pass (shot.analytic), so nothing is computed twice.
-    if spec.backend == "tilt":
-        config = spec.config or CompilerConfig()
-        compiled = LinQCompiler(spec.device, config).compile(spec.circuit)
-        stats = compiled.stats
-        if spec.simulate:
-            simulator = TiltSimulator(spec.device, noise)
-            if spec.shots:
-                shot = simulator.run_stochastic(
-                    compiled, shots=spec.shots, seed=spec.seed,
-                    shot_offset=spec.shot_offset, scenario=scenario,
-                )
-                simulation = shot.analytic
-            else:
-                simulation = simulator.run(compiled, scenario=scenario)
-    elif spec.backend == "ideal":
-        simulator = IdealSimulator(spec.device, noise)
-        if spec.shots:
-            shot = simulator.run_stochastic(
-                spec.circuit, shots=spec.shots, seed=spec.seed,
-                shot_offset=spec.shot_offset, scenario=scenario,
-            )
-            simulation = shot.analytic
-        else:
-            simulation = simulator.run(spec.circuit, scenario=scenario)
-    elif spec.backend == "qccd":
-        program = QccdCompiler(spec.device).compile(spec.circuit)
-        if spec.simulate:
-            simulator = QccdSimulator(spec.device, noise)
-            if spec.shots:
-                shot = simulator.run_stochastic(
-                    program, shots=spec.shots, seed=spec.seed,
-                    shot_offset=spec.shot_offset,
-                    circuit_name=spec.circuit.name, scenario=scenario,
-                )
-                simulation = shot.analytic
-            else:
-                simulation = simulator.run(
-                    program, circuit_name=spec.circuit.name,
-                    scenario=scenario,
-                )
-    else:  # pragma: no cover - validated by JobSpec.__post_init__
-        raise ReproError(f"unknown backend {spec.backend!r}")
-    wall_time = time.perf_counter() - start
-    return JobResult(
-        key=key,
-        backend=spec.backend,
-        label=spec.label,
-        stats=stats,
-        simulation=simulation,
-        shot=shot,
-        wall_time_s=wall_time,
-    )
 
 
 @dataclass
@@ -207,14 +126,15 @@ class EngineStats:
 
 
 class ExecutionEngine:
-    """Run batches of jobs with caching, deduplication and a process pool.
+    """Run batches of jobs with caching, deduplication and a backend.
 
     Parameters
     ----------
     workers:
-        Process-pool size.  ``1`` (the default) executes inline — fully
-        serial and deterministic; ``0`` means "one per CPU"; ``None``
-        defers to the ``TILT_REPRO_WORKERS`` environment variable.
+        Parallelism for backends the engine constructs itself.  ``1``
+        (the default) selects the serial backend — fully deterministic;
+        ``0`` means "one per CPU"; ``None`` defers to the
+        ``TILT_REPRO_WORKERS`` environment variable.
     cache:
         The :class:`ResultCache` to consult and populate.  Pass an
         explicit instance to share results across engines, or ``None``
@@ -222,6 +142,18 @@ class ExecutionEngine:
     cache_path:
         Convenience: build an on-disk cache at this path (ignored when
         *cache* is given).
+    store:
+        A :class:`~repro.exec.store.RunStore` (or a directory path for
+        one) used *instead of* a :class:`ResultCache`: results persist
+        per job in append-only segments, so an interrupted run keeps
+        everything it finished and a later engine on the same store
+        resumes from it.  Mutually exclusive with *cache* /
+        *cache_path*.
+    backend:
+        Execution backend: a name (``"serial"``, ``"process"``,
+        ``"async"``), a :class:`~repro.exec.backends.Backend` instance,
+        or ``None`` — which consults ``TILT_REPRO_BACKEND`` and falls
+        back to serial-or-pool by worker count.
     progress:
         Optional callback invoked after every finished job with
         ``(jobs done, total, result)``.
@@ -230,11 +162,33 @@ class ExecutionEngine:
     def __init__(self, *, workers: int | None = 1,
                  cache: ResultCache | None = None,
                  cache_path: str | os.PathLike[str] | None = None,
+                 store: RunStore | str | os.PathLike[str] | None = None,
+                 backend: str | Backend | None = None,
                  progress: ProgressCallback | None = None) -> None:
         self.workers = resolve_workers(workers)
-        self.cache = cache if cache is not None else ResultCache(cache_path)
+        if store is not None:
+            if cache is not None or cache_path is not None:
+                raise ReproError(
+                    "pass either store= or cache=/cache_path=, not both"
+                )
+            self.cache: ResultCache | RunStore = (
+                store if isinstance(store, RunStore) else RunStore(store)
+            )
+        else:
+            self.cache = cache if cache is not None else ResultCache(cache_path)
+        self.backend = backend
         self.progress = progress
         self.stats = EngineStats()
+
+    @property
+    def store(self) -> RunStore | None:
+        """The durable run store backing this engine, if any."""
+        return self.cache if isinstance(self.cache, RunStore) else None
+
+    def describe_backend(self, workers: int | None = None) -> str:
+        """Identity string of the backend a batch would run on."""
+        count = self.workers if workers is None else resolve_workers(workers)
+        return resolve_backend(self.backend, count).describe()
 
     # ------------------------------------------------------------------
     # Public API
@@ -244,11 +198,16 @@ class ExecutionEngine:
         return self.run([spec])[0]
 
     def run(self, specs: Sequence[JobSpec], *,
-            workers: int | None = None) -> list[JobResult]:
+            workers: int | None = None,
+            backend: str | Backend | None = None) -> list[JobResult]:
         """Run *specs*, returning one result per spec in input order.
 
-        ``workers`` overrides the engine's configured pool size for this
-        batch only (engine state is not mutated).
+        ``workers`` and ``backend`` override the engine's configuration
+        for this batch only (engine state is not mutated).  ``workers``
+        applies when the backend is resolved *by name* (engine default,
+        env var, or a name passed here); a :class:`Backend` *instance*
+        owns its parallelism and is used exactly as constructed —
+        ``workers`` does not reconfigure it.
         """
         batch_start = time.perf_counter()
         batch_workers = (self.workers if workers is None
@@ -276,8 +235,10 @@ class ExecutionEngine:
             len(indices) - 1 for indices in pending.values()
         )
 
-        # 3. Execute the unique misses, serially or across the pool.
-        for key, result in self._execute_all(unique, batch_workers):
+        # 3. Execute the unique misses on the selected backend.  Results
+        # stream: each one is stored (durably, for a RunStore) as it
+        # arrives, so an interrupted serial run keeps its finished jobs.
+        for key, result in self._execute_all(unique, batch_workers, backend):
             self.cache.store(result)
             self.stats.jobs_executed += 1
             self.stats.execution_time_s += result.wall_time_s
@@ -299,41 +260,39 @@ class ExecutionEngine:
         return [result for result in results if result is not None]
 
     # ------------------------------------------------------------------
-    # Execution strategies
+    # Backend dispatch
     # ------------------------------------------------------------------
     def _execute_all(
-        self, unique: list[tuple[str, JobSpec]], workers: int
-    ) -> list[tuple[str, JobResult]]:
-        if not unique:
-            return []
-        if workers <= 1 or len(unique) == 1:
-            return [(key, execute_spec(spec, key)) for key, spec in unique]
-        try:
-            return self._execute_pooled(unique, workers)
-        except (OSError, concurrent.futures.BrokenExecutor):
-            # Environments that forbid or kill subprocesses (sandboxes,
-            # OOM reaping) fall back to the deterministic serial path;
-            # execute_spec is pure, so re-running every unique job is safe.
-            return [(key, execute_spec(spec, key)) for key, spec in unique]
+        self, unique: list[tuple[str, JobSpec]], workers: int,
+        backend: str | Backend | None = None,
+    ) -> Iterable[tuple[str, JobResult]]:
+        """Yield each unique job's result as its backend finishes it.
 
-    def _execute_pooled(
-        self, unique: list[tuple[str, JobSpec]], workers: int
-    ) -> list[tuple[str, JobResult]]:
-        max_workers = min(workers, len(unique))
-        out: list[tuple[str, JobResult]] = []
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=max_workers
-        ) as pool:
-            futures = {
-                pool.submit(execute_spec, spec, key): key
-                for key, spec in unique
-            }
-            for future in concurrent.futures.as_completed(futures):
-                out.append((futures[future], future.result()))
-        # Keep submission order so serial and pooled runs look identical.
-        order = {key: position for position, (key, _) in enumerate(unique)}
-        out.sort(key=lambda item: order[item[0]])
-        return out
+        A generator end to end: serial and process backends stream, so
+        the caller persists every result the moment it exists (the
+        durable-store guarantee).  If a pooled backend dies mid-batch
+        (sandboxes forbidding subprocesses, OOM-killed workers), the
+        jobs *not yet yielded* re-run on the serial path — execute_spec
+        is pure, so the retry is safe, and already-yielded results are
+        not re-executed or double-counted.
+        """
+        if not unique:
+            return
+        chosen = backend if backend is not None else self.backend
+        resolved = resolve_backend(chosen, workers)
+        try:
+            done: set[str] = set()
+            try:
+                for key, result in resolved.submit(unique):
+                    done.add(key)
+                    yield key, result
+            except (OSError, concurrent.futures.BrokenExecutor):
+                for key, spec in unique:
+                    if key not in done:
+                        yield key, execute_spec(spec, key)
+        finally:
+            if resolved is not chosen:  # engine-constructed: release it
+                resolved.close()
 
 
 # ----------------------------------------------------------------------
@@ -347,7 +306,7 @@ def default_engine() -> ExecutionEngine:
 
     Its in-memory cache is what makes repeated sweep invocations inside
     one process free; its worker count comes from ``TILT_REPRO_WORKERS``
-    (default: serial).
+    and its backend from ``TILT_REPRO_BACKEND`` (default: serial).
     """
     global _DEFAULT_ENGINE
     if _DEFAULT_ENGINE is None:
@@ -363,11 +322,14 @@ def reset_default_engine() -> None:
 
 def run_jobs(specs: Sequence[JobSpec], *,
              workers: int | None = None,
+             backend: str | Backend | None = None,
              engine: ExecutionEngine | None = None) -> list[JobResult]:
     """Run *specs* on *engine* (default: the shared engine).
 
-    ``workers`` overrides the engine's pool size for this call only, so
-    callers can opt into parallelism without reconfiguring the engine.
+    ``workers`` and ``backend`` override the engine's pool size and
+    execution backend for this call only, so callers can opt into
+    parallelism (or a different dispatch strategy) without reconfiguring
+    the engine.
     """
     chosen = engine if engine is not None else default_engine()
-    return chosen.run(specs, workers=workers)
+    return chosen.run(specs, workers=workers, backend=backend)

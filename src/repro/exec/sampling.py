@@ -16,6 +16,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.exceptions import ReproError
+from repro.exec.backends import Backend
 from repro.exec.engine import (
     ExecutionEngine,
     default_engine,
@@ -53,6 +54,7 @@ def shard_sampling_spec(spec: JobSpec, shards: int) -> list[JobSpec]:
 
 def run_sampled_job(spec: JobSpec, *, shards: int | None = None,
                     workers: int | None = None,
+                    exec_backend: str | Backend | None = None,
                     engine: ExecutionEngine | None = None) -> JobResult:
     """Run one sampled job, sharded across the execution engine.
 
@@ -67,6 +69,11 @@ def run_sampled_job(spec: JobSpec, *, shards: int | None = None,
         engine (whose pool size follows ``TILT_REPRO_WORKERS``) — so a
         serial engine runs one shard and a pooled engine saturates its
         pool.
+    exec_backend:
+        Execution backend for the shard batch (name or
+        :class:`~repro.exec.backends.Backend` instance; ``exec_`` prefix
+        because ``spec.backend`` already names the *toolchain*).  Shard
+        merging is bit-identical under every backend.
     workers, engine:
         Standard engine controls (see :func:`~repro.exec.engine.run_jobs`).
 
@@ -90,7 +97,8 @@ def run_sampled_job(spec: JobSpec, *, shards: int | None = None,
         else:
             shards = default_engine().workers
     shard_specs = shard_sampling_spec(spec, shards)
-    results = run_jobs(shard_specs, workers=workers, engine=engine)
+    results = run_jobs(shard_specs, workers=workers, backend=exec_backend,
+                       engine=engine)
     merged = merge_shot_results(
         [result.shot for result in results if result.shot is not None]
     )

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.exceptions import ReproError
+from repro.exec.store import RunManifest
 
 #: The objectives of every search, in reporting order.  ``log10_success``
 #: is maximized; the other two are minimized.
@@ -115,7 +116,13 @@ def pareto_front(points: list[SearchPoint]) -> list[SearchPoint]:
 
 @dataclass
 class SearchResult:
-    """Outcome of one strategy run over one search space."""
+    """Outcome of one strategy run over one search space.
+
+    ``manifest`` is only set for durable runs
+    (``run_search(..., store=)``); it mirrors the ``manifest.json``
+    written into the store root and is excluded from equality (two runs
+    of the same search are equal even when stored in different places).
+    """
 
     strategy: str
     knobs: dict[str, list[str]]
@@ -123,6 +130,9 @@ class SearchResult:
     rungs: list[RungRecord] = field(default_factory=list)
     num_jobs: int = 0
     engine_stats: dict[str, float] | None = None
+    manifest: RunManifest | None = field(
+        default=None, compare=False, repr=False,
+    )
 
     # ------------------------------------------------------------------
     # Multi-objective views

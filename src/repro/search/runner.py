@@ -11,16 +11,35 @@ batch (every candidate's jobs, shards included, submitted together), so
 with no strategy-side code.  Results are assembled in candidate order
 from a batch the engine returns in submission order, and no wall-clock
 timing lands on the points, so a search is bit-identical for any
-``workers=`` split (pinned by ``tests/test_search.py``).
+``workers=`` split or ``exec_backend=`` choice (pinned by
+``tests/test_search.py`` and ``tests/test_backends.py``).
+
+Long searches run durably: ``run_search(..., store=<dir>)`` backs the
+engine with a :class:`~repro.exec.store.RunStore` and keeps a
+:class:`~repro.exec.store.RunManifest` up to date after every evaluation
+round (spec keys, completed keys, backend description, engine stats,
+git/seed provenance).  If the process dies mid-search, rerunning with
+``resume=<manifest or store dir>`` rebuilds the engine on the same store
+and every already-completed job is a durable cache hit — the engine
+stats of the resumed run prove exactly how much was skipped.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 from repro.exceptions import ReproError
 from repro.exec import ExecutionEngine, JobResult, run_jobs
+from repro.exec.backends import Backend
 from repro.exec.engine import default_engine
+from repro.exec.jobs import spec_key
+from repro.exec.store import (
+    RunManifest,
+    RunStore,
+    collect_provenance,
+    read_manifest,
+)
 from repro.search.result import SearchPoint, SearchResult
 from repro.search.space import Candidate, SearchSpace
 from repro.search.strategies import SearchStrategy
@@ -83,7 +102,10 @@ def _point_from_results(space: SearchSpace, candidate: Candidate,
 
 def run_search(space: SearchSpace, strategy: SearchStrategy, *,
                engine: ExecutionEngine | None = None,
-               workers: int | None = None) -> SearchResult:
+               workers: int | None = None,
+               exec_backend: str | Backend | None = None,
+               store: RunStore | str | None = None,
+               resume: RunManifest | str | None = None) -> SearchResult:
     """Explore *space* with *strategy* through the execution engine.
 
     Parameters
@@ -95,21 +117,96 @@ def run_search(space: SearchSpace, strategy: SearchStrategy, *,
         A :class:`~repro.search.strategies.SearchStrategy` — grid,
         random, successive halving, or anything implementing the
         protocol.
-    engine, workers:
+    engine, workers, exec_backend:
         Standard engine controls (see :func:`repro.exec.run_jobs`): an
         explicit engine shares its cache with other callers; ``workers``
-        overrides the pool size for this search's batches only.
+        and ``exec_backend`` override the pool size / execution backend
+        for this search's batches only.
+    store:
+        A :class:`~repro.exec.store.RunStore` (or directory path) making
+        the search durable: every finished job is appended immediately
+        and a :class:`~repro.exec.store.RunManifest` is kept current in
+        the store root after every evaluation round.  Mutually exclusive
+        with ``engine``.
+    resume:
+        A :class:`~repro.exec.store.RunManifest` (or a store root /
+        manifest path) of an earlier — possibly interrupted — run of
+        this search.  The engine is rebuilt on that run's store, so
+        completed jobs are served without re-execution; the resumed
+        run's engine stats record exactly how many were skipped.
 
     Returns
     -------
     SearchResult
         Full-fidelity points in lattice order, rung history, the number
-        of engine jobs this search submitted, and the engine-stats delta
-        it caused (cache-hit accounting for CI artifacts).
+        of engine jobs this search submitted, the engine-stats delta it
+        caused (cache-hit accounting for CI artifacts) and, for durable
+        runs, the final :class:`RunManifest` on ``.manifest``.
     """
-    chosen = engine if engine is not None else default_engine()
+    if resume is not None:
+        if isinstance(resume, RunManifest):
+            # a bare manifest only knows its recorded absolute root; if
+            # the store moved since, refuse rather than silently mkdir
+            # an empty store at the stale path and re-run everything
+            resume_root = resume.store_root
+            if store is None and not os.path.isdir(resume_root):
+                raise ReproError(
+                    f"the manifest's recorded store root {resume_root!r} "
+                    "does not exist — if the store was moved or "
+                    "downloaded, resume with its current path "
+                    "(resume=<store dir>) or pass store= explicitly"
+                )
+        else:
+            # Resume the store the caller actually pointed at, not the
+            # absolute root recorded inside the manifest: a store that
+            # was moved or downloaded must not silently recreate an
+            # empty directory at its old path and re-run everything.
+            read_manifest(resume)  # validates a manifest is really there
+            path = os.fspath(resume)
+            resume_root = (path if os.path.isdir(path)
+                           else os.path.dirname(os.path.abspath(path)))
+        if store is None:
+            store = resume_root
+    run_store: RunStore | None = None
+    if store is not None:
+        if engine is not None:
+            raise ReproError(
+                "pass either engine= or store=/resume=, not both: a "
+                "durable search owns its engine (built on the run store)"
+            )
+        run_store = store if isinstance(store, RunStore) else RunStore(store)
+        # workers=None defers to TILT_REPRO_WORKERS (default serial), so
+        # a durable search honours the env var exactly like the shared
+        # default engine does; the per-batch workers= override still wins.
+        chosen = ExecutionEngine(workers=None, store=run_store,
+                                 backend=exec_backend)
+    else:
+        chosen = engine if engine is not None else default_engine()
     before = chosen.stats.to_dict()
     submitted = 0
+    submitted_keys: list[str] = []
+    provenance = (
+        collect_provenance(seed=space.seed, shots=space.shots)
+        if run_store is not None else None
+    )
+
+    def write_manifest(status: str) -> RunManifest | None:
+        if run_store is None:
+            return None
+        manifest = RunManifest(
+            store_root=run_store.root,
+            spec_keys=list(submitted_keys),
+            completed_keys=run_store.keys(),
+            backend=chosen.describe_backend(workers),
+            engine_stats=_stats_delta(before, chosen.stats.to_dict()),
+            provenance=provenance or {},
+            status=status,
+            extra={"strategy": strategy.name,
+                   "knobs": {name: list(labels) for name, labels
+                             in space.knob_labels().items()}},
+        )
+        run_store.write_manifest(manifest)
+        return manifest
 
     def evaluate(candidates: Sequence[Candidate],
                  shots: int) -> list[SearchPoint]:
@@ -121,7 +218,14 @@ def run_search(space: SearchSpace, strategy: SearchStrategy, *,
             chunks.append((candidate, len(candidate_specs)))
             specs.extend(candidate_specs)
         submitted += len(specs)
-        results = run_jobs(specs, workers=workers, engine=chosen)
+        if run_store is not None:
+            # Record the round's plan *before* executing it, so a run
+            # killed mid-round leaves a manifest whose pending_keys name
+            # exactly the unfinished work.
+            submitted_keys.extend(spec_key(spec) for spec in specs)
+            write_manifest("running")
+        results = run_jobs(specs, workers=workers, backend=exec_backend,
+                           engine=chosen)
         points: list[SearchPoint] = []
         offset = 0
         for candidate, count in chunks:
@@ -129,6 +233,8 @@ def run_search(space: SearchSpace, strategy: SearchStrategy, *,
                 space, candidate, shots, results[offset:offset + count],
             ))
             offset += count
+        if run_store is not None:
+            write_manifest("running")
         return points
 
     points, rungs = strategy.run(space, evaluate)
@@ -140,4 +246,5 @@ def run_search(space: SearchSpace, strategy: SearchStrategy, *,
         rungs=rungs,
         num_jobs=submitted,
         engine_stats=_stats_delta(before, chosen.stats.to_dict()),
+        manifest=write_manifest("complete"),
     )

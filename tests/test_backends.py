@@ -1,0 +1,195 @@
+"""Backend invariance: serial, process-pool and async-local execution
+produce byte-identical spec keys, results and merged ShotResults."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.ideal import IdealTrappedIonDevice
+from repro.arch.qccd import QccdDevice
+from repro.arch.tilt import TiltDevice
+from repro.compiler.pipeline import CompilerConfig
+from repro.exceptions import ReproError
+from repro.exec import (
+    AsyncLocalBackend,
+    ExecutionEngine,
+    JobSpec,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_backend,
+    run_sampled_job,
+    spec_key,
+)
+from repro.exec.backends import BACKEND_ENV_VAR
+from repro.exec.engine import reset_default_engine
+from repro.noise.parameters import NoiseParameters
+from repro.workloads.bv import bv_workload
+from repro.workloads.qft import qft_workload
+
+BACKEND_NAMES = ("serial", "process", "async")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_engine():
+    reset_default_engine()
+    yield
+    reset_default_engine()
+
+
+def _mixed_batch() -> list[JobSpec]:
+    """Analytic TILT points + QCCD + ideal + sampled jobs, in one batch.
+
+    Mixing cheap analytic jobs with sampled (``shots > 0``) ones is the
+    straggler scenario the process backend's chunked dispatch targets;
+    the invariance assertions hold regardless of how dispatch reorders
+    the work.
+    """
+    tilt = TiltDevice(num_qubits=16, head_size=8)
+    noise = NoiseParameters.paper_defaults()
+    specs = [
+        JobSpec(
+            circuit=bv_workload(16), device=tilt,
+            config=CompilerConfig(max_swap_len=length, mapper="trivial"),
+            noise=noise, label=f"tilt-{length}",
+        )
+        for length in (7, 6, 5)
+    ]
+    specs.append(JobSpec(
+        circuit=qft_workload(12),
+        device=QccdDevice(num_qubits=12, trap_capacity=5),
+        backend="qccd", noise=noise, label="qccd",
+    ))
+    specs.append(JobSpec(
+        circuit=bv_workload(8), device=IdealTrappedIonDevice(num_qubits=8),
+        backend="ideal", noise=noise, label="ideal",
+    ))
+    specs.extend(
+        JobSpec(
+            circuit=qft_workload(6),
+            device=IdealTrappedIonDevice(num_qubits=6),
+            backend="ideal", noise=noise,
+            shots=96, seed=7, shot_offset=offset,
+            label=f"sampled-{offset}",
+        )
+        for offset in (0, 96)
+    )
+    return specs
+
+
+def _structural(result):
+    """Everything about a result except per-run wall-clock timings."""
+    stats = result.stats
+    if stats is not None:
+        stats = dataclasses.replace(
+            stats, time_decompose_s=0, time_swap_s=0, time_schedule_s=0,
+        )
+    return (result.key, result.label, stats, result.simulation, result.shot)
+
+
+class TestBackendInvariance:
+    def test_mixed_batch_bit_identical_across_backends(self):
+        specs = _mixed_batch()
+        keys = [spec_key(spec) for spec in specs]
+        reference = None
+        for name in BACKEND_NAMES:
+            engine = ExecutionEngine(workers=2, backend=name)
+            results = engine.run(specs)
+            assert [result.key for result in results] == keys
+            structural = [_structural(result) for result in results]
+            if reference is None:
+                reference = structural
+            else:
+                assert structural == reference, f"backend {name} diverged"
+
+    def test_sampled_job_merge_invariant_across_backends(self):
+        spec = JobSpec(
+            circuit=qft_workload(6),
+            device=IdealTrappedIonDevice(num_qubits=6),
+            backend="ideal", noise=NoiseParameters.paper_defaults(),
+            shots=256, seed=11,
+        )
+        merged = {
+            name: run_sampled_job(
+                spec, shards=4, exec_backend=name,
+                engine=ExecutionEngine(workers=2),
+            )
+            for name in BACKEND_NAMES
+        }
+        assert merged["process"].shot == merged["serial"].shot
+        assert merged["async"].shot == merged["serial"].shot
+        assert (merged["process"].key == merged["async"].key
+                == merged["serial"].key == spec_key(spec))
+
+    def test_per_batch_backend_override(self):
+        engine = ExecutionEngine(workers=2)  # would default to the pool
+        specs = _mixed_batch()[:3]
+        serial = engine.run(specs, backend="serial")
+        override = engine.run(specs, backend="async")
+        # second run is all cache hits, so the override exercised lookup
+        assert engine.stats.cache_hits == len(specs)
+        assert [r.simulation for r in override] == [
+            r.simulation for r in serial
+        ]
+
+
+class TestBackendSelection:
+    def test_default_follows_worker_count(self):
+        assert isinstance(resolve_backend(None, 1), SerialBackend)
+        assert isinstance(resolve_backend(None, 4), ProcessPoolBackend)
+
+    def test_names_resolve(self):
+        assert isinstance(resolve_backend("serial", 4), SerialBackend)
+        assert isinstance(resolve_backend("process", 4), ProcessPoolBackend)
+        assert isinstance(resolve_backend("async", 4), AsyncLocalBackend)
+
+    def test_instance_passes_through(self):
+        backend = AsyncLocalBackend(workers=3)
+        assert resolve_backend(backend, 1) is backend
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "async")
+        assert isinstance(resolve_backend(None, 1), AsyncLocalBackend)
+        monkeypatch.setenv(BACKEND_ENV_VAR, "nope")
+        with pytest.raises(ReproError):
+            resolve_backend(None, 1)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_backend("magic", 1)
+
+    def test_describe_backend(self):
+        assert ExecutionEngine(workers=1).describe_backend() == "serial"
+        assert "process" in ExecutionEngine(workers=4).describe_backend()
+        assert "async" in ExecutionEngine(
+            workers=2, backend="async"
+        ).describe_backend()
+
+
+class TestProcessPoolDispatch:
+    def test_plan_chunks_heavy_first_then_light_chunks(self):
+        light = [
+            (f"light-{i}", spec) for i, spec in enumerate(_mixed_batch()[:3])
+        ]
+        device = IdealTrappedIonDevice(num_qubits=6)
+        heavy = [
+            (f"heavy-{shots}", JobSpec(
+                circuit=qft_workload(6), device=device, backend="ideal",
+                shots=shots, seed=1,
+            ))
+            for shots in (50, 200, 100)
+        ]
+        backend = ProcessPoolBackend(workers=2, chunk_size=2)
+        chunks = backend.plan_chunks(light + heavy)
+        # sampled jobs lead, longest first, one per chunk
+        assert [chunk[0][0] for chunk in chunks[:3]] == [
+            "heavy-200", "heavy-100", "heavy-50",
+        ]
+        assert all(len(chunk) == 1 for chunk in chunks[:3])
+        # analytic jobs follow in chunks of chunk_size, order preserved
+        assert [[job[0] for job in chunk] for chunk in chunks[3:]] == [
+            ["light-0", "light-1"], ["light-2"],
+        ]
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ReproError):
+            ProcessPoolBackend(workers=2, chunk_size=0)

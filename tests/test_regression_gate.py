@@ -1,0 +1,112 @@
+"""Tests for the CI benchmark-regression gate (benchmarks/check_regression.py)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_GATE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks", "check_regression.py",
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_regression",
+                                                  _GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _medians(scale_tracked: float = 1.0, scale_all: float = 1.0,
+             ) -> dict[str, float]:
+    """A synthetic run with one benchmark per tracked hot path plus
+    untracked ballast for the machine-speed normaliser."""
+    tracked = {
+        "benchmarks/bench_table3_compilation.py::test_tape_scheduling_time[QFT-0]": 0.006,
+        "benchmarks/bench_engine.py::test_sweep_cache_hit_rate[QFT]": 0.0008,
+        "benchmarks/bench_stochastic.py::test_serial_shots_per_second": 0.5,
+        "benchmarks/bench_scenarios.py::test_correlated_sampling_shots_per_second": 9.0,
+    }
+    untracked = {f"benchmarks/bench_other.py::test_{i}": 0.01 * (i + 1)
+                 for i in range(8)}
+    out = {name: value * scale_tracked * scale_all
+           for name, value in tracked.items()}
+    out.update({name: value * scale_all for name, value in untracked.items()})
+    return out
+
+
+class TestCheck:
+    def test_identical_run_passes(self, gate):
+        ok, lines = gate.check(_medians(), _medians())
+        assert ok, "\n".join(lines)
+
+    def test_injected_2x_slowdown_fails(self, gate):
+        current = _medians()
+        current["benchmarks/bench_stochastic.py::test_serial_shots_per_second"] *= 2.0
+        ok, lines = gate.check(current, _medians())
+        assert not ok
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_small_jitter_passes(self, gate):
+        ok, lines = gate.check(_medians(scale_tracked=1.15), _medians())
+        assert ok, "\n".join(lines)
+
+    def test_uniformly_slow_machine_passes_normalised(self, gate):
+        # everything 2x slower = a slower runner, not a regression
+        ok, lines = gate.check(_medians(scale_all=2.0), _medians())
+        assert ok, "\n".join(lines)
+
+    def test_uniformly_slow_machine_fails_raw(self, gate):
+        ok, _ = gate.check(_medians(scale_all=2.0), _medians(),
+                           normalize=False)
+        assert not ok
+
+    def test_missing_tracked_benchmark_fails(self, gate):
+        current = _medians()
+        del current["benchmarks/bench_engine.py::test_sweep_cache_hit_rate[QFT]"]
+        ok, lines = gate.check(current, _medians())
+        assert not ok
+        assert any("MISSING" in line for line in lines)
+
+    def test_disjoint_runs_fail(self, gate):
+        ok, _ = gate.check({"benchmarks/bench_new.py::test_x": 1.0},
+                           _medians())
+        assert not ok
+
+
+class TestCli:
+    def _bench_json(self, path, medians):
+        payload = {
+            "benchmarks": [
+                {"fullname": name, "stats": {"median": value}}
+                for name, value in medians.items()
+            ]
+        }
+        path.write_text(json.dumps(payload))
+
+    def test_update_then_gate_round_trip(self, gate, tmp_path):
+        bench = tmp_path / "bench.json"
+        baseline = tmp_path / "baseline.json"
+        self._bench_json(bench, _medians())
+        assert gate.main([str(bench), "--baseline", str(baseline),
+                          "--update-baseline"]) == 0
+        assert gate.main([str(bench), "--baseline", str(baseline)]) == 0
+        # the recorded threshold is live config, not a dead field
+        assert gate.baseline_threshold(str(baseline)) == gate.DEFAULT_THRESHOLD
+
+        slow = tmp_path / "slow.json"
+        medians = _medians()
+        medians["benchmarks/bench_stochastic.py::test_serial_shots_per_second"] *= 2.0
+        self._bench_json(slow, medians)
+        assert gate.main([str(slow), "--baseline", str(baseline)]) == 1
+
+    def test_committed_baseline_tracks_every_hot_path(self, gate):
+        """The real baseline.json must cover all tracked groups, so the
+        gate in CI can never silently gate on nothing."""
+        baseline = gate.load_baseline(gate.DEFAULT_BASELINE)
+        groups = {gate.tracked_group(name) for name in baseline}
+        assert groups >= {g for g, _ in gate.TRACKED_PATTERNS}
