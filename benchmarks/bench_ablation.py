@@ -69,6 +69,7 @@ def test_tilt_sympathetic_cooling(benchmark, interval, scale, noise):
     )
     params = noise.with_overrides(tilt_cooling_interval_moves=interval)
     simulator = TiltSimulator(device, params)
+    # repro-lint: disable=RPR002 -- times the raw simulator under a cooling-interval override; compile is deliberately outside the measured lambda, which execute_spec cannot express
     result = benchmark(lambda: simulator.run(compiled))
     benchmark.extra_info["log10_success"] = result.log10_success_rate
 

@@ -56,6 +56,8 @@ TRACKED_PATTERNS: tuple[tuple[str, str], ...] = (
      r"bench_stochastic\.py::test_serial_shots_per_second"),
     ("stochastic_shots",
      r"bench_scenarios\.py::test_correlated_sampling_shots_per_second"),
+    ("lint",
+     r"bench_lint\.py::test_lint_whole_repo"),
 )
 
 #: Fail when a tracked (normalised) slowdown exceeds this factor.

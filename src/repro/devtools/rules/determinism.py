@@ -1,0 +1,138 @@
+"""RPR001 — determinism: no global RNG state, no wall-clock in results.
+
+The repo's determinism contract (ROADMAP "Architecture invariants")
+derives every stochastic draw from an explicit seed — each shot owns a
+generator seeded from ``(seed, global shot index)`` — and results must
+be bit-identical across any worker/shard/backend split.  Two things
+break that silently:
+
+* **global RNG state** — module-function calls on :mod:`random`
+  (``random.random()``, ``random.seed()``, …), the legacy
+  ``numpy.random.*`` global API, an unseeded ``random.Random()`` /
+  ``numpy.random.default_rng()``, or ``random.SystemRandom`` anywhere.
+  Seeded constructions (``random.Random(7)``,
+  ``np.random.default_rng(seed)``) and passing ``Generator`` objects
+  around are the sanctioned pattern and are not flagged.
+* **wall-clock reads in result-producing code** — ``time.time()`` /
+  ``datetime.now()`` outputs end up inside results and make reruns
+  differ byte-for-byte.  Monotonic timing (``time.perf_counter`` /
+  ``monotonic``) is fine everywhere: it only ever lands in telemetry
+  fields like ``wall_time_s`` that the cache key ignores.  Modules in
+  :data:`WALL_CLOCK_ALLOWLIST` (timing/telemetry-only code) are exempt
+  from the wall-clock check but still covered by the RNG checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.core import (
+    FileContext,
+    Rule,
+    Violation,
+    canonical_call_name,
+    import_aliases,
+)
+
+#: Path prefixes whose wall-clock reads are telemetry by design.  The
+#: linter's own report generation is the only current member; extend the
+#: tuple (with a PR-reviewed justification) rather than suppressing
+#: inline when a whole module is timing/telemetry code.
+WALL_CLOCK_ALLOWLIST: tuple[str, ...] = (
+    "src/repro/devtools/",
+)
+
+#: Calls that read the wall clock.
+_WALL_CLOCK = frozenset({
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: Module-level functions of :mod:`random` that mutate/read the hidden
+#: global generator.
+_RANDOM_GLOBAL = frozenset({
+    "random.betavariate", "random.choice", "random.choices",
+    "random.expovariate", "random.gammavariate", "random.gauss",
+    "random.getrandbits", "random.lognormvariate", "random.normalvariate",
+    "random.paretovariate", "random.randbytes", "random.randint",
+    "random.random", "random.randrange", "random.sample", "random.seed",
+    "random.shuffle", "random.triangular", "random.uniform",
+    "random.vonmisesvariate", "random.weibullvariate",
+})
+
+#: ``numpy.random`` attributes that are fine to call: explicit-seed
+#: generator constructors and bit generators.
+_NUMPY_OK = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64", "RandomState",
+})
+
+
+class DeterminismRule(Rule):
+    rule_id = "RPR001"
+    description = (
+        "no global RNG state (random.* module functions, legacy "
+        "numpy.random.*, unseeded Random()/default_rng()) and no "
+        "wall-clock reads (time.time, datetime.now) outside "
+        "timing/telemetry allowlisted modules"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        aliases = import_aliases(ctx.tree)
+        wall_clock_ok = ctx.in_dir(*WALL_CLOCK_ALLOWLIST)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = canonical_call_name(node, aliases)
+            if name is None:
+                continue
+            if name in _WALL_CLOCK and not wall_clock_ok:
+                yield self.violation(
+                    ctx, node,
+                    f"wall-clock read {name}() in result-producing code "
+                    f"breaks rerun bit-identity; use time.perf_counter() "
+                    f"for durations, or add the module to the "
+                    f"determinism WALL_CLOCK_ALLOWLIST if it is "
+                    f"telemetry-only",
+                )
+            elif name in _RANDOM_GLOBAL:
+                yield self.violation(
+                    ctx, node,
+                    f"{name}() uses the hidden module-global generator; "
+                    f"derive an explicit random.Random(seed) (the "
+                    f"(seed, shot index) contract) instead",
+                )
+            elif name == "random.SystemRandom":
+                yield self.violation(
+                    ctx, node,
+                    "random.SystemRandom is OS-entropy-backed and can "
+                    "never replay; use a seeded random.Random",
+                )
+            elif name == "random.Random" and not (node.args or node.keywords):
+                yield self.violation(
+                    ctx, node,
+                    "unseeded random.Random() seeds from OS entropy; "
+                    "pass an explicit seed",
+                )
+            elif name.startswith("numpy.random."):
+                attr = name.rsplit(".", 1)[1]
+                if attr == "default_rng":
+                    if not (node.args or node.keywords):
+                        yield self.violation(
+                            ctx, node,
+                            "unseeded numpy.random.default_rng() seeds "
+                            "from OS entropy; pass an explicit seed "
+                            "(e.g. default_rng((seed, shot_index)))",
+                        )
+                elif attr not in _NUMPY_OK:
+                    yield self.violation(
+                        ctx, node,
+                        f"legacy global-state numpy.random.{attr}() "
+                        f"call; draw from an explicit "
+                        f"numpy.random.Generator instead",
+                    )

@@ -1,0 +1,90 @@
+"""RPR005 — swallowed-exception hygiene in the durability-critical core.
+
+``exec/`` owns the result caches, the append-only
+:class:`~repro.exec.store.RunStore` segments and the backend dispatch;
+``search/`` owns resumable multi-rung runs.  A handler in those packages
+that swallows ``Exception`` wholesale can drop a failed write on the
+floor and let a run *appear* complete — the resume path then serves the
+truncated state as durable cache hits, which is exactly the corruption
+the store exists to prevent.
+
+Flagged, in ``src/repro/exec/`` and ``src/repro/search/`` only:
+
+* a bare ``except:`` anywhere (it also eats ``KeyboardInterrupt`` /
+  ``SystemExit``, breaking clean shutdown of pool workers), regardless
+  of body;
+* ``except Exception:`` / ``except BaseException:`` whose body is only
+  ``pass`` / ``...`` — catching narrow, expected errors (``OSError`` on
+  a best-effort unlink) stays legal, as does broad catching that
+  re-raises or actually handles.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.core import FileContext, Rule, Violation
+
+#: Packages where a dropped error breaks durability/resume semantics.
+RESTRICTED_PREFIXES: tuple[str, ...] = (
+    "src/repro/exec/",
+    "src/repro/search/",
+)
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _names_broad_type(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Tuple):
+        return any(_names_broad_type(element) for element in node.elts)
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BROAD
+    return False
+
+
+def _body_is_silent(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is ...):
+            continue
+        return False
+    return True
+
+
+class SwallowedExceptionRule(Rule):
+    rule_id = "RPR005"
+    description = (
+        "no bare 'except:' and no silent 'except Exception: pass' in "
+        "exec/ and search/ — a dropped error there corrupts "
+        "durability/resume semantics"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_dir(*RESTRICTED_PREFIXES)
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    ctx, node,
+                    "bare 'except:' also catches KeyboardInterrupt/"
+                    "SystemExit and can mask a failed durable write; "
+                    "name the exceptions this code expects",
+                )
+            elif _names_broad_type(node.type) and _body_is_silent(node.body):
+                yield self.violation(
+                    ctx, node,
+                    "'except Exception: pass' silently drops errors a "
+                    "resumed run will mistake for completed work; "
+                    "narrow the exception type or handle/re-raise",
+                )

@@ -1,0 +1,24 @@
+# repro-lint: treat-as=src/repro/analysis/example_study.py
+"""RPR001 positives: global RNG state and wall-clock reads in a driver."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp_result() -> dict:
+    return {
+        "finished_at": time.time(),          # RPR001: wall clock
+        "day": datetime.now().isoformat(),   # RPR001: wall clock
+    }
+
+
+def draw_samples(n: int) -> list[float]:
+    rng = np.random.default_rng()            # RPR001: unseeded generator
+    np.random.seed(0)                        # RPR001: legacy global API
+    noise = np.random.normal(size=n)         # RPR001: legacy global API
+    jitter = random.random()                 # RPR001: module-global stream
+    coin = random.Random()                   # RPR001: unseeded Random
+    return [jitter, coin.random(), float(noise[0]), float(rng.random())]

@@ -1,0 +1,18 @@
+# repro-lint: treat-as=src/repro/analysis/example_study.py
+"""RPR001 negatives: seeded generators and monotonic timing only."""
+
+import random
+import time
+
+import numpy as np
+
+
+def time_phase() -> float:
+    start = time.perf_counter()              # monotonic duration: fine
+    return time.perf_counter() - start
+
+
+def draw_samples(seed: int, shot_index: int, n: int) -> list[float]:
+    rng = np.random.default_rng((seed, shot_index))   # the (seed, shot) contract
+    stream = random.Random(seed)                      # seeded: fine
+    return [stream.random() for _ in range(n)] + list(rng.random(n))

@@ -1,0 +1,18 @@
+# repro-lint: treat-as=src/repro/analysis/example_driver.py
+"""RPR002 positives: a driver that bypasses the execution engine."""
+
+from concurrent.futures import ProcessPoolExecutor  # RPR002: ad-hoc pool
+
+from repro.compiler.pipeline import LinQCompiler
+from repro.sim.tilt_sim import TiltSimulator
+
+
+def sweep(circuits, device, noise):
+    simulator = TiltSimulator(device, noise)
+    compiled = [LinQCompiler(device).compile(c) for c in circuits]
+    analytic = [simulator.run(p) for p in compiled]          # RPR002
+    sampled = simulator.run_stochastic(compiled[0],          # RPR002
+                                       shots=100, seed=0)
+    with ProcessPoolExecutor() as pool:
+        extra = list(pool.map(simulator.run, compiled))
+    return analytic, sampled, extra

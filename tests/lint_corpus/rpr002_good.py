@@ -1,0 +1,21 @@
+# repro-lint: treat-as=src/repro/analysis/example_driver.py
+"""RPR002 negatives: the same driver lowered to engine JobSpecs."""
+
+from repro.exec import JobSpec, run_jobs
+
+
+def sweep(circuits, device, noise):
+    specs = [
+        JobSpec(circuit=circuit, device=device, noise=noise)
+        for circuit in circuits
+    ]
+    specs.append(JobSpec(circuit=circuits[0], device=device, noise=noise,
+                         shots=100, seed=0))
+    results = run_jobs(specs, workers=4)     # engine path: cached, deduped
+    return results
+
+
+def other_run_calls_stay_legal(engine, strategy, space, evaluate):
+    # .run() on non-simulator receivers is exactly how the engine is used
+    engine.run([])
+    return strategy.run(space, evaluate)

@@ -1,0 +1,24 @@
+# repro-lint: treat-as=src/repro/exec/jobs.py
+"""RPR003 positive: a JobSpec that drifted from the golden fixture.
+
+One field added (``priority``) and one default changed (``seed``) —
+each alone silently moves every content hash.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    circuit: Circuit
+    device: DeviceSpec
+    backend: str = "tilt"
+    config: CompilerConfig | None = None
+    noise: NoiseParameters | None = None
+    simulate: bool = True
+    shots: int = 0
+    seed: int = 1
+    shot_offset: int = 0
+    scenario: str = BASELINE_SCENARIO
+    label: str = ""
+    priority: int = 0

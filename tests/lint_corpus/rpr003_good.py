@@ -1,0 +1,24 @@
+# repro-lint: treat-as=src/repro/exec/jobs.py
+"""RPR003 negative: a JobSpec field-for-field equal to the fixture.
+
+Mirrors the real ``src/repro/exec/jobs.py`` dataclass; when that class
+changes (with a fixture regeneration), update this mirror in the same
+PR — the corpus test failing here is rule RPR003 doing its job.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    circuit: Circuit
+    device: DeviceSpec
+    backend: str = "tilt"
+    config: CompilerConfig | None = None
+    noise: NoiseParameters | None = None
+    simulate: bool = True
+    shots: int = 0
+    seed: int = 0
+    shot_offset: int = 0
+    scenario: str = BASELINE_SCENARIO
+    label: str = ""

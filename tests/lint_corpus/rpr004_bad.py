@@ -1,0 +1,14 @@
+# repro-lint: treat-as=src/repro/noise/custom_scenarios.py
+"""RPR004 positives: registrations a pool worker would never see."""
+
+from repro.noise.scenarios import NoiseScenario, register_scenario
+
+# RPR004: constructed at import time but never registered — no JobSpec
+# can ever name it
+ORPHANED = NoiseScenario(name="orphaned", crosstalk_strength=1e-3)
+
+
+def install_scenarios() -> None:
+    # RPR004: runs only in the calling process; a re-importing pool
+    # worker never executes this function
+    register_scenario(NoiseScenario(name="late", leakage_rate_2q=1e-4))

@@ -1,0 +1,22 @@
+# repro-lint: treat-as=src/repro/noise/custom_scenarios.py
+"""RPR004 negatives: every construction is registered at import time."""
+
+from repro.noise.scenarios import (
+    NoiseScenario,
+    compose_scenarios,
+    register_scenario,
+)
+
+# direct argument form
+register_scenario(NoiseScenario(name="hot-xt", crosstalk_strength=5e-4))
+
+# assign-then-register form (the scenarios.py BASELINE pattern)
+GENTLE_LEAK = NoiseScenario(name="gentle-leak", leakage_rate_2q=1e-5)
+register_scenario(GENTLE_LEAK)
+
+# construction feeding a composition that gets registered
+register_scenario(compose_scenarios(
+    "hot-and-leaky",
+    NoiseScenario(name="xt-part", crosstalk_strength=5e-4),
+    GENTLE_LEAK,
+))

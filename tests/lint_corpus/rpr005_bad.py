@@ -1,0 +1,24 @@
+# repro-lint: treat-as=src/repro/exec/example_worker.py
+"""RPR005 positives: swallowed errors in durability-critical code."""
+
+
+def flush_segment(handle, payload) -> bool:
+    try:
+        handle.write(payload)
+    except:  # RPR005: bare except eats KeyboardInterrupt too
+        return False
+    return True
+
+
+def best_effort_store(store, result) -> None:
+    try:
+        store.store(result)
+    except Exception:  # RPR005: a dropped write looks like completed work
+        pass
+
+
+def quiet_close(backend) -> None:
+    try:
+        backend.close()
+    except BaseException:  # RPR005: silent ellipsis body
+        ...

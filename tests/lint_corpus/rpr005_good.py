@@ -1,0 +1,22 @@
+# repro-lint: treat-as=src/repro/exec/example_worker.py
+"""RPR005 negatives: narrow catches and broad catches that act."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def unlink_best_effort(path, os_module) -> None:
+    try:
+        os_module.unlink(path)
+    except OSError:  # narrow, expected: temp file already gone
+        pass
+
+
+def flush_segment(handle, payload) -> None:
+    try:
+        handle.write(payload)
+    except Exception:
+        # broad but not silent: surfaced and re-raised, resume stays honest
+        log.error("segment write failed; run must not look complete")
+        raise

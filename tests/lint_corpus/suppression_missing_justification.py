@@ -1,0 +1,8 @@
+# repro-lint: treat-as=src/repro/analysis/example_telemetry.py
+"""A bare disable without justification: rejected, both findings fire."""
+
+import time
+
+
+def log_line(message: str) -> str:
+    return f"{time.time():.0f} {message}"  # repro-lint: disable=RPR001

@@ -1,0 +1,9 @@
+# repro-lint: treat-as=src/repro/analysis/example_telemetry.py
+"""A justified suppression: the finding is recorded but not active."""
+
+import time
+
+
+def log_line(message: str) -> str:
+    # repro-lint: disable=RPR001 -- operator-log timestamp only; never stored in a result or hashed into a key
+    return f"{time.time():.0f} {message}"

@@ -1,0 +1,71 @@
+"""Import-time scenario registration, pinned from a fresh interpreter.
+
+The ROADMAP invariant behind lint rule RPR004: scenario names must be
+registered **at import time** so process-pool (and future remote)
+workers — which see the library only by re-importing it — can resolve
+``JobSpec(scenario=...)``.  In-process tests cannot pin this (the test
+session has already imported and registered everything), so these tests
+spawn a pristine interpreter and check what a worker would actually
+see.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parent.parent
+SRC = REPO_ROOT / "src"
+
+#: Every scenario shipped by repro.noise.scenarios.
+BUILTIN_SCENARIOS = frozenset(
+    {"baseline", "crosstalk", "leakage", "heating_burst", "worst_case"}
+)
+
+
+def fresh_interpreter(code: str) -> str:
+    """Run *code* in a new python with only ``src`` on the path."""
+    completed = subprocess.run(
+        (sys.executable, "-c", code),
+        capture_output=True, text=True, timeout=120,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_import_repro_registers_every_builtin_scenario():
+    stdout = fresh_interpreter(
+        "import json, repro\n"
+        "from repro.noise import scenario_names\n"
+        "print(json.dumps(sorted(scenario_names())))\n"
+    )
+    assert BUILTIN_SCENARIOS <= set(json.loads(stdout))
+
+
+def test_pool_worker_import_path_sees_scenarios():
+    """Importing just the job layer (what unpickling a JobSpec pulls in)
+    must already resolve every built-in scenario name."""
+    stdout = fresh_interpreter(
+        "import json\n"
+        "import repro.exec.jobs\n"
+        "from repro.noise.scenarios import get_scenario, scenario_names\n"
+        "names = sorted(scenario_names())\n"
+        "resolved = [get_scenario(name).name for name in names]\n"
+        "print(json.dumps(resolved))\n"
+    )
+    assert BUILTIN_SCENARIOS <= set(json.loads(stdout))
+
+
+def test_builtin_scenario_set_matches_lint_corpus_expectation():
+    """The frozen name set above is the one the registry actually ships
+    (catches a built-in added without updating this pin)."""
+    stdout = fresh_interpreter(
+        "import json, repro\n"
+        "from repro.noise import scenario_names\n"
+        "print(json.dumps(sorted(scenario_names())))\n"
+    )
+    assert set(json.loads(stdout)) == BUILTIN_SCENARIOS

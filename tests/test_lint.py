@@ -1,0 +1,210 @@
+"""Tests for the invariant linter (repro.devtools) and its corpus.
+
+Three layers:
+
+* engine mechanics — suppression grammar, treat-as scoping, rule
+  selection, JSON report shape, exit codes, syntax-error handling;
+* the per-rule positive/negative corpus under ``tests/lint_corpus/``
+  (each rule must fire on its ``*_bad.py`` and stay silent on its
+  ``*_good.py``);
+* the self-gate — linting the repo's own ``src``/``tests``/
+  ``benchmarks``/``examples`` must come back clean, which is the same
+  check the blocking CI step runs.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import META_RULE, all_rules, run_lint
+from repro.devtools.lint import main as lint_main
+
+REPO_ROOT = Path(__file__).parent.parent
+CORPUS = Path(__file__).parent / "lint_corpus"
+
+RULE_IDS = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
+
+#: How many findings each positive corpus file must produce for its rule.
+EXPECTED_BAD_COUNTS = {
+    "RPR001": 7,   # 2 wall-clock + 5 RNG findings in rpr001_bad.py
+    "RPR002": 3,   # pool import + .run + .run_stochastic
+    "RPR003": 1,   # one drift finding naming every changed field
+    "RPR004": 2,   # orphaned construction + function-nested register
+    "RPR005": 3,   # bare except + silent Exception + silent BaseException
+}
+
+
+def lint_one(name: str, **kwargs):
+    return run_lint([CORPUS / name], **kwargs)
+
+
+class TestCorpus:
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_positive_corpus_fires(self, rule_id):
+        report = lint_one(f"{rule_id.lower()}_bad.py", select=[rule_id])
+        fired = [v for v in report.active if v.rule == rule_id]
+        assert len(fired) == EXPECTED_BAD_COUNTS[rule_id], [
+            v.format() for v in report.active
+        ]
+        assert report.exit_code == 1
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_negative_corpus_is_clean(self, rule_id):
+        report = lint_one(f"{rule_id.lower()}_good.py", select=[rule_id])
+        assert report.active == [], [v.format() for v in report.active]
+        assert report.exit_code == 0
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_positive_corpus_clean_under_all_other_rules(self, rule_id):
+        """Each bad file violates *only* its own rule (corpus hygiene)."""
+        report = lint_one(f"{rule_id.lower()}_bad.py",
+                          ignore=[rule_id])
+        assert report.active == [], [v.format() for v in report.active]
+
+
+class TestSuppressions:
+    def test_justified_suppression_passes(self):
+        report = lint_one("suppression_ok.py")
+        assert report.exit_code == 0
+        assert len(report.suppressed) == 1
+        finding = report.suppressed[0]
+        assert finding.rule == "RPR001"
+        assert "operator-log timestamp" in finding.justification
+
+    def test_missing_justification_is_rejected(self):
+        report = lint_one("suppression_missing_justification.py")
+        rules_fired = sorted(v.rule for v in report.active)
+        # the malformed directive AND the un-suppressed original
+        assert rules_fired == [META_RULE, "RPR001"]
+        assert report.exit_code == 1
+
+    def test_meta_rule_cannot_be_suppressed(self, tmp_path):
+        victim = tmp_path / "meta.py"
+        victim.write_text(
+            "# repro-lint: disable=RPR000 -- nice try\n",
+            encoding="utf-8",
+        )
+        report = run_lint([victim], root=REPO_ROOT)
+        assert [v.rule for v in report.active] == [META_RULE]
+
+    def test_previous_line_suppression(self, tmp_path):
+        victim = tmp_path / "prev.py"
+        victim.write_text(
+            "# repro-lint: treat-as=src/repro/analysis/x.py\n"
+            "import time\n"
+            "# repro-lint: disable=RPR001 -- telemetry only\n"
+            "NOW = time.time()\n",
+            encoding="utf-8",
+        )
+        report = run_lint([victim], root=REPO_ROOT)
+        assert report.active == []
+        assert len(report.suppressed) == 1
+
+
+class TestEngine:
+    def test_treat_as_scopes_path_rules(self, tmp_path):
+        source = "import time\nNOW = time.time()\n"
+        unscoped = tmp_path / "unscoped.py"
+        unscoped.write_text(source, encoding="utf-8")
+        scoped = tmp_path / "scoped.py"
+        scoped.write_text(
+            "# repro-lint: treat-as=src/repro/devtools/x.py\n" + source,
+            encoding="utf-8",
+        )
+        # the wall-clock allowlist covers devtools/, so only the
+        # unscoped file fires
+        report = run_lint([unscoped, scoped], root=REPO_ROOT)
+        assert len(report.active) == 1
+        assert report.active[0].path.endswith("unscoped.py")
+
+    def test_syntax_error_reports_meta_finding(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n", encoding="utf-8")
+        report = run_lint([broken], root=REPO_ROOT)
+        assert [v.rule for v in report.active] == [META_RULE]
+        assert "syntax error" in report.active[0].message
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError, match="unknown rule id"):
+            lint_one("rpr001_good.py", select=["RPR999"])
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            run_lint([CORPUS / "does_not_exist.py"])
+
+    def test_corpus_directory_is_skipped_in_directory_walk(self):
+        report = run_lint([CORPUS.parent / "lint_corpus" / ".."],
+                          select=["RPR001"])
+        # walking tests/ must not pick up the deliberately-bad corpus
+        corpus_hits = [v for v in report.active
+                       if "lint_corpus" in v.path]
+        assert corpus_hits == []
+
+    def test_rule_ids_and_descriptions_are_complete(self):
+        rules = all_rules()
+        assert tuple(rule.rule_id for rule in rules) == RULE_IDS
+        assert all(rule.description for rule in rules)
+
+
+class TestCli:
+    def test_json_report_shape(self, tmp_path):
+        out = tmp_path / "report.json"
+        code = lint_main([str(CORPUS / "rpr005_bad.py"),
+                          "--json", str(out), "--quiet"])
+        assert code == 1
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        assert payload["active"] == EXPECTED_BAD_COUNTS["RPR005"]
+        assert {v["rule"] for v in payload["violations"]} == {"RPR005"}
+        assert {"rule", "path", "line", "col", "message", "suppressed",
+                "justification"} <= set(payload["violations"][0])
+
+    def test_json_report_is_deterministic(self, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        lint_main([str(CORPUS / "rpr001_bad.py"), "--json", str(first),
+                   "--quiet"])
+        lint_main([str(CORPUS / "rpr001_bad.py"), "--json", str(second),
+                   "--quiet"])
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_list_rules_exits_zero(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (META_RULE, *RULE_IDS):
+            assert rule_id in out
+
+    def test_usage_error_exit_code(self):
+        assert lint_main(["--select", "NOPE", "src"]) == 2
+        assert lint_main([str(CORPUS / "missing.py")]) == 2
+
+    def test_module_invocation_contract(self):
+        """``python -m repro.devtools.lint <bad file>`` exits 1."""
+        completed = subprocess.run(
+            (sys.executable, "-m", "repro.devtools.lint",
+             str(CORPUS / "rpr002_bad.py")),
+            capture_output=True, text=True, timeout=60,
+            cwd=REPO_ROOT,
+        )
+        assert completed.returncode == 1, completed.stderr
+        assert "RPR002" in completed.stdout
+
+
+class TestSelfGate:
+    def test_repo_tree_is_lint_clean(self):
+        """The blocking CI check: the repo satisfies its own invariants."""
+        report = run_lint([REPO_ROOT / "src", REPO_ROOT / "tests",
+                           REPO_ROOT / "benchmarks",
+                           REPO_ROOT / "examples"])
+        assert report.active == [], "\n".join(
+            v.format() for v in report.active
+        )
+        # the four raw-simulator micro-benchmarks carry justified
+        # suppressions; anything beyond them deserves a fresh look
+        assert len(report.suppressed) == 4
+        assert all(v.justification for v in report.suppressed)

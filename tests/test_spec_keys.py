@@ -1,0 +1,161 @@
+"""Golden spec-key fixture: cache keys are byte-stable across PRs.
+
+``tests/fixtures/spec_keys.json`` commits two snapshots:
+
+* ``keys`` — :func:`repro.exec.jobs.spec_key` for a representative spec
+  of every execution style (analytic, compile-only, sampled, sharded,
+  scenario, QCCD, ideal).  These tests recompute them and assert
+  byte-identity, so any change that moves cache keys — a JobSpec field,
+  a default, the canonical payload, the hash — fails loudly instead of
+  silently orphaning every on-disk ResultCache/RunStore.
+* ``jobspec_fields`` — the JobSpec dataclass fields as extracted from
+  the **AST** by lint rule RPR003
+  (:func:`repro.devtools.rules.spec_keys.extract_dataclass_fields`).
+  The lint rule compares the source tree against this snapshot on every
+  run, so the fixture and the dataclass can only change together.
+
+Intentional changes regenerate the fixture::
+
+    PYTHONPATH=src python tests/test_spec_keys.py --update
+
+and the diff review is where cache-version bumps get decided.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+from repro.arch.ideal import IdealTrappedIonDevice
+from repro.arch.qccd import QccdDevice
+from repro.arch.tilt import TiltDevice
+from repro.compiler.pipeline import CompilerConfig
+from repro.devtools.rules.spec_keys import extract_dataclass_fields
+from repro.exec.jobs import JobSpec, spec_key
+from repro.noise.parameters import NoiseParameters
+from repro.workloads.bv import bv_workload
+from repro.workloads.qft import qft_workload
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "spec_keys.json"
+JOBS_SOURCE = (Path(__file__).parent.parent / "src" / "repro" / "exec"
+               / "jobs.py")
+
+
+def representative_specs() -> dict[str, JobSpec]:
+    """One spec per execution style the engine caches.
+
+    Every construction is fully explicit (fixed circuit, device, config,
+    calibration, seeds) so the mapping name -> key is a pure function of
+    the key derivation — nothing here may depend on environment,
+    wall-clock or RNG state.
+    """
+    tilt = TiltDevice(num_qubits=16, head_size=8)
+    config = CompilerConfig(max_swap_len=7, mapper="trivial")
+    noise = NoiseParameters.paper_defaults()
+    return {
+        "analytic_tilt_bv16": JobSpec(
+            circuit=bv_workload(16), device=tilt, config=config,
+            noise=noise,
+        ),
+        "compile_only_tilt_bv16": JobSpec(
+            circuit=bv_workload(16), device=tilt, config=config,
+            noise=noise, simulate=False,
+        ),
+        "sampled_tilt_qft12": JobSpec(
+            circuit=qft_workload(12), device=tilt, config=config,
+            noise=noise, shots=256, seed=7,
+        ),
+        "sampled_shard_tilt_qft12": JobSpec(
+            circuit=qft_workload(12), device=tilt, config=config,
+            noise=noise, shots=128, seed=7, shot_offset=128,
+        ),
+        "scenario_crosstalk_tilt_bv16": JobSpec(
+            circuit=bv_workload(16), device=tilt, config=config,
+            noise=noise, scenario="crosstalk",
+        ),
+        "architecture_qccd_qft12": JobSpec(
+            circuit=qft_workload(12),
+            device=QccdDevice(num_qubits=12, trap_capacity=5),
+            backend="qccd", noise=noise,
+        ),
+        "architecture_ideal_bv8": JobSpec(
+            circuit=bv_workload(8),
+            device=IdealTrappedIonDevice(num_qubits=8),
+            backend="ideal", noise=noise,
+        ),
+    }
+
+
+def current_snapshot() -> dict:
+    """The fixture payload the current tree would record."""
+    tree = ast.parse(JOBS_SOURCE.read_text(encoding="utf-8"))
+    return {
+        "version": 1,
+        "comment": "golden cache-key fixture; regenerate with "
+                   "'PYTHONPATH=src python tests/test_spec_keys.py "
+                   "--update' and review key compatibility in the diff",
+        "jobspec_fields": extract_dataclass_fields(tree, "JobSpec"),
+        "keys": {name: spec_key(spec)
+                 for name, spec in sorted(representative_specs().items())},
+    }
+
+
+def load_fixture() -> dict:
+    return json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+
+
+class TestGoldenSpecKeys:
+    def test_keys_are_byte_identical(self):
+        recorded = load_fixture()["keys"]
+        computed = {name: spec_key(spec)
+                    for name, spec in representative_specs().items()}
+        assert computed == recorded, (
+            "spec keys drifted from tests/fixtures/spec_keys.json — "
+            "every on-disk cache/store keyed by the old values is now "
+            "orphaned; if intentional, regenerate the fixture and "
+            "consider a cache-version bump"
+        )
+
+    def test_every_style_has_a_distinct_key(self):
+        keys = list(load_fixture()["keys"].values())
+        assert len(set(keys)) == len(keys)
+
+    def test_fixture_field_snapshot_matches_source_ast(self):
+        tree = ast.parse(JOBS_SOURCE.read_text(encoding="utf-8"))
+        assert (extract_dataclass_fields(tree, "JobSpec")
+                == load_fixture()["jobspec_fields"])
+
+    def test_fixture_field_snapshot_matches_runtime_dataclass(self):
+        recorded = [field["name"]
+                    for field in load_fixture()["jobspec_fields"]]
+        runtime = [field.name for field in dataclasses.fields(JobSpec)]
+        assert recorded == runtime
+
+    def test_baseline_scenario_and_zero_shots_stay_keyless(self):
+        """The non-default-only hashing contract, pinned structurally."""
+        specs = representative_specs()
+        base = specs["analytic_tilt_bv16"]
+        assert spec_key(base) == spec_key(dataclasses.replace(
+            base, scenario="baseline", shots=0, seed=0, shot_offset=0,
+        ))
+        # seed participates only when shots do
+        assert spec_key(dataclasses.replace(base, seed=99)) == spec_key(base)
+
+
+def main(argv: list[str]) -> int:
+    if argv != ["--update"]:
+        print("usage: PYTHONPATH=src python tests/test_spec_keys.py "
+              "--update", file=sys.stderr)
+        return 2
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(current_snapshot(), indent=2, sort_keys=True)
+    FIXTURE_PATH.write_text(payload + "\n", encoding="utf-8")
+    print(f"wrote {FIXTURE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
