@@ -14,7 +14,10 @@ tracked hot paths are the ones the ROADMAP's perf work landed on:
   phase is the warm, all-cache-hits sweep);
 * ``stochastic_shots``  — Monte-Carlo sampling throughput
   (``bench_stochastic.py::test_serial_shots_per_second`` and the
-  correlated-scenario variant in ``bench_scenarios.py``).
+  correlated-scenario variant in ``bench_scenarios.py``);
+* ``obs_overhead``      — the engine batch with tracing off and on
+  (``bench_obs.py``): instrumentation must stay near-free when off and
+  cheap when on.
 
 CI machines are not the machine the baseline was recorded on, so raw
 medians are not comparable run to run.  The gate therefore normalises:
@@ -58,6 +61,10 @@ TRACKED_PATTERNS: tuple[tuple[str, str], ...] = (
      r"bench_scenarios\.py::test_correlated_sampling_shots_per_second"),
     ("lint",
      r"bench_lint\.py::test_lint_whole_repo"),
+    ("obs_overhead",
+     r"bench_obs\.py::test_untraced_engine_batch"),
+    ("obs_overhead",
+     r"bench_obs\.py::test_traced_engine_batch"),
 )
 
 #: Fail when a tracked (normalised) slowdown exceeds this factor.

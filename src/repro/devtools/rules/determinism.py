@@ -35,12 +35,16 @@ from repro.devtools.core import (
     import_aliases,
 )
 
-#: Path prefixes whose wall-clock reads are telemetry by design.  The
-#: linter's own report generation is the only current member; extend the
-#: tuple (with a PR-reviewed justification) rather than suppressing
-#: inline when a whole module is timing/telemetry code.
+#: Path prefixes whose wall-clock reads are telemetry by design: the
+#: linter's own report generation, and the observability plane —
+#: ``repro.obs`` trace records need epoch timestamps to be comparable
+#: across processes, and by contract never touch spec keys or result
+#: bytes (``tests/test_obs.py`` pins traced-vs-untraced bit-identity).
+#: Extend the tuple (with a PR-reviewed justification) rather than
+#: suppressing inline when a whole module is timing/telemetry code.
 WALL_CLOCK_ALLOWLIST: tuple[str, ...] = (
     "src/repro/devtools/",
+    "src/repro/obs/",
 )
 
 #: Calls that read the wall clock.

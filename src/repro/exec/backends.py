@@ -46,6 +46,7 @@ from repro.exceptions import ReproError
 from repro.exec.jobs import JobResult, JobSpec, spec_key
 from repro.noise.parameters import NoiseParameters
 from repro.noise.scenarios import get_scenario
+from repro.obs.trace import activate, current_trace, worker_recorder
 from repro.sim.ideal_sim import IdealSimulator
 from repro.sim.qccd_sim import QccdSimulator
 from repro.sim.tilt_sim import TiltSimulator
@@ -97,6 +98,15 @@ def execute_spec(spec: JobSpec, key: str | None = None) -> JobResult:
     key = key or spec_key(spec)
     noise = spec.noise or NoiseParameters.paper_defaults()
     scenario = get_scenario(spec.scenario)
+    # The active trace (engine-activated in-process, worker-recorder in
+    # pool workers) gets one "job.execute" span per job, carrying the
+    # spec key so the offline report can re-parent cross-process spans
+    # under the batch that dispatched them.  A NullRecorder makes all of
+    # this a no-op; tracing never touches the result.
+    span = current_trace().span(
+        "job.execute", spec_key=key, backend=spec.backend,
+        shots=spec.shots, label=spec.label,
+    )
     start = time.perf_counter()
     stats = None
     simulation = None
@@ -104,48 +114,49 @@ def execute_spec(spec: JobSpec, key: str | None = None) -> JobResult:
     # For sampled jobs each simulator's run_stochastic evaluates the
     # per-gate noise model once and derives the analytic result from that
     # same pass (shot.analytic), so nothing is computed twice.
-    if spec.backend == "tilt":
-        config = spec.config or CompilerConfig()
-        compiled = LinQCompiler(spec.device, config).compile(spec.circuit)
-        stats = compiled.stats
-        if spec.simulate:
-            simulator = TiltSimulator(spec.device, noise)
+    with span:
+        if spec.backend == "tilt":
+            config = spec.config or CompilerConfig()
+            compiled = LinQCompiler(spec.device, config).compile(spec.circuit)
+            stats = compiled.stats
+            if spec.simulate:
+                simulator = TiltSimulator(spec.device, noise)
+                if spec.shots:
+                    shot = simulator.run_stochastic(
+                        compiled, shots=spec.shots, seed=spec.seed,
+                        shot_offset=spec.shot_offset, scenario=scenario,
+                    )
+                    simulation = shot.analytic
+                else:
+                    simulation = simulator.run(compiled, scenario=scenario)
+        elif spec.backend == "ideal":
+            simulator = IdealSimulator(spec.device, noise)
             if spec.shots:
                 shot = simulator.run_stochastic(
-                    compiled, shots=spec.shots, seed=spec.seed,
+                    spec.circuit, shots=spec.shots, seed=spec.seed,
                     shot_offset=spec.shot_offset, scenario=scenario,
                 )
                 simulation = shot.analytic
             else:
-                simulation = simulator.run(compiled, scenario=scenario)
-    elif spec.backend == "ideal":
-        simulator = IdealSimulator(spec.device, noise)
-        if spec.shots:
-            shot = simulator.run_stochastic(
-                spec.circuit, shots=spec.shots, seed=spec.seed,
-                shot_offset=spec.shot_offset, scenario=scenario,
-            )
-            simulation = shot.analytic
-        else:
-            simulation = simulator.run(spec.circuit, scenario=scenario)
-    elif spec.backend == "qccd":
-        program = QccdCompiler(spec.device).compile(spec.circuit)
-        if spec.simulate:
-            simulator = QccdSimulator(spec.device, noise)
-            if spec.shots:
-                shot = simulator.run_stochastic(
-                    program, shots=spec.shots, seed=spec.seed,
-                    shot_offset=spec.shot_offset,
-                    circuit_name=spec.circuit.name, scenario=scenario,
-                )
-                simulation = shot.analytic
-            else:
-                simulation = simulator.run(
-                    program, circuit_name=spec.circuit.name,
-                    scenario=scenario,
-                )
-    else:  # pragma: no cover - validated by JobSpec.__post_init__
-        raise ReproError(f"unknown backend {spec.backend!r}")
+                simulation = simulator.run(spec.circuit, scenario=scenario)
+        elif spec.backend == "qccd":
+            program = QccdCompiler(spec.device).compile(spec.circuit)
+            if spec.simulate:
+                simulator = QccdSimulator(spec.device, noise)
+                if spec.shots:
+                    shot = simulator.run_stochastic(
+                        program, shots=spec.shots, seed=spec.seed,
+                        shot_offset=spec.shot_offset,
+                        circuit_name=spec.circuit.name, scenario=scenario,
+                    )
+                    simulation = shot.analytic
+                else:
+                    simulation = simulator.run(
+                        program, circuit_name=spec.circuit.name,
+                        scenario=scenario,
+                    )
+        else:  # pragma: no cover - validated by JobSpec.__post_init__
+            raise ReproError(f"unknown backend {spec.backend!r}")
     wall_time = time.perf_counter() - start
     return JobResult(
         key=key,
@@ -158,9 +169,22 @@ def execute_spec(spec: JobSpec, key: str | None = None) -> JobResult:
     )
 
 
-def _execute_chunk(chunk: Sequence[Job]) -> list[tuple[str, JobResult]]:
-    """Pool task: run a chunk of jobs back to back in one worker."""
-    return [(key, execute_spec(spec, key)) for key, spec in chunk]
+def _execute_chunk(
+    chunk: Sequence[Job], trace_path: str | None = None,
+) -> list[tuple[str, JobResult]]:
+    """Pool task: run a chunk of jobs back to back in one worker.
+
+    When the parent batch is traced it passes its trace *path*; the
+    worker then activates a per-process sidecar recorder so its
+    ``job.execute`` spans land in a private segment file the parent
+    merges after the batch (a forked worker must never append to the
+    parent's file directly).  Called in-process (``trace_path=None``)
+    the ambient trace — whatever the engine activated — stays in effect.
+    """
+    if trace_path is None:
+        return [(key, execute_spec(spec, key)) for key, spec in chunk]
+    with activate(worker_recorder(trace_path)):
+        return [(key, execute_spec(spec, key)) for key, spec in chunk]
 
 
 # ----------------------------------------------------------------------
@@ -175,7 +199,10 @@ class Backend(Protocol):
     once, in any order (the engine places results by key).  ``close``
     releases whatever the backend holds open (pools, sessions); it must
     be idempotent.  ``describe`` is a short human-readable identity
-    string recorded in run manifests.
+    string recorded in run manifests; ``describe_config`` is its
+    structured counterpart — a plain-JSON dict (backend name, worker
+    count, chunking policy) that traces and
+    :class:`~repro.exec.store.RunManifest` record for offline analysis.
     """
 
     name: str
@@ -187,6 +214,9 @@ class Backend(Protocol):
         ...  # pragma: no cover - protocol
 
     def describe(self) -> str:
+        ...  # pragma: no cover - protocol
+
+    def describe_config(self) -> dict:
         ...  # pragma: no cover - protocol
 
 
@@ -207,14 +237,20 @@ class SerialBackend:
         pass
 
     def submit(self, jobs: Sequence[Job]) -> Iterable[tuple[str, JobResult]]:
-        for key, spec in jobs:
-            yield key, execute_spec(spec, key)
+        with current_trace().span(
+            "backend.submit", backend=self.name, jobs=len(jobs),
+        ):
+            for key, spec in jobs:
+                yield key, execute_spec(spec, key)
 
     def close(self) -> None:
         pass
 
     def describe(self) -> str:
         return "serial"
+
+    def describe_config(self) -> dict:
+        return {"backend": self.name, "workers": 1}
 
 
 class ProcessPoolBackend:
@@ -277,16 +313,32 @@ class ProcessPoolBackend:
         *outputs* are bit-identical to serial regardless.
         """
         jobs = list(jobs)
+        trace = current_trace()
         if self.workers <= 1 or len(jobs) <= 1:
-            yield from _execute_chunk(jobs)
+            with trace.span(
+                "backend.submit", backend=self.name, jobs=len(jobs),
+                pooled=False,
+            ):
+                yield from _execute_chunk(jobs)
             return
         chunks = self.plan_chunks(jobs)
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(self.workers, len(chunks))
-        ) as pool:
-            futures = [pool.submit(_execute_chunk, chunk) for chunk in chunks]
-            for future in concurrent.futures.as_completed(futures):
-                yield from future.result()
+        # Workers are separate processes: hand them the trace *path* (or
+        # None when tracing is off) so each activates its own sidecar
+        # recorder instead of a fork-inherited handle to the parent file.
+        trace_path = trace.path if trace.enabled else None
+        with trace.span(
+            "backend.submit", backend=self.name, jobs=len(jobs),
+            chunks=len(chunks), workers=min(self.workers, len(chunks)),
+        ):
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.workers, len(chunks))
+            ) as pool:
+                futures = [
+                    pool.submit(_execute_chunk, chunk, trace_path)
+                    for chunk in chunks
+                ]
+                for future in concurrent.futures.as_completed(futures):
+                    yield from future.result()
 
     def close(self) -> None:
         pass
@@ -294,6 +346,14 @@ class ProcessPoolBackend:
     def describe(self) -> str:
         chunk = self.chunk_size if self.chunk_size is not None else "auto"
         return f"process(workers={self.workers}, chunk_size={chunk})"
+
+    def describe_config(self) -> dict:
+        return {
+            "backend": self.name,
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "chunk_groups_per_worker": self.CHUNK_GROUPS_PER_WORKER,
+        }
 
 
 class AsyncLocalBackend:
@@ -323,7 +383,15 @@ class AsyncLocalBackend:
         jobs = list(jobs)
         if not jobs:
             return []
-        return asyncio.run(self._drive(jobs))
+        # Executor threads share this process, so execute_spec sees the
+        # ambient trace directly; its spans start parentless (each thread
+        # has its own span stack) and the offline report re-parents them
+        # by spec key.
+        with current_trace().span(
+            "backend.submit", backend=self.name, jobs=len(jobs),
+            workers=min(self.workers, len(jobs)),
+        ):
+            return asyncio.run(self._drive(jobs))
 
     async def _drive(self, jobs: list[Job]) -> list[tuple[str, JobResult]]:
         loop = asyncio.get_running_loop()
@@ -341,6 +409,10 @@ class AsyncLocalBackend:
 
     def describe(self) -> str:
         return f"async-local(threads={self.workers})"
+
+    def describe_config(self) -> dict:
+        return {"backend": self.name, "executor": "thread",
+                "workers": self.workers}
 
 
 def resolve_backend(backend: "str | Backend | None",

@@ -21,6 +21,14 @@ differ only in wall-clock time.  Batch-level counters (cache hits/misses,
 jobs executed, per-job timings) accumulate on the engine for the
 acceptance checks and the progress report; ``engine.stats.reset()``
 zeroes them between measurement phases.
+
+Opt-in structured tracing (``ExecutionEngine(trace=...)`` or
+``TILT_REPRO_TRACE=<path>``) records each batch as a span tree —
+``engine.batch`` → ``engine.cache_lookup`` / ``engine.dispatch`` (with a
+``job.done`` event and a worker-side ``job.execute`` span per executed
+job) → ``engine.flush`` — plus a metrics snapshot, appended to a
+torn-line-tolerant JSONL file that ``python -m repro.obs.report``
+analyses offline.  See :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -28,7 +36,6 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import time
-from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from repro.exceptions import ReproError
@@ -43,6 +50,8 @@ from repro.exec.backends import (
 from repro.exec.cache import ResultCache
 from repro.exec.jobs import JobResult, JobSpec, spec_key
 from repro.exec.store import RunStore
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NullRecorder, TraceRecorder, activate, resolve_trace
 
 __all__ = [
     "BACKEND_ENV_VAR",
@@ -61,22 +70,76 @@ __all__ = [
 ProgressCallback = Callable[[int, int, JobResult], None]
 
 
-@dataclass
-class EngineStats:
-    """Cumulative counters over every batch an engine has run."""
+def _counter_property(metric: str, cast=int):
+    """A read/write attribute view over one named registry counter.
 
-    jobs_submitted: int = 0
-    jobs_executed: int = 0
-    cache_hits: int = 0
-    deduplicated: int = 0
-    execution_time_s: float = 0.0
-    batch_time_s: float = 0.0
-    job_times_s: list[float] = field(default_factory=list)
+    Keeps the historical ``engine.stats.cache_hits += 1`` surface while
+    the values live in the :class:`~repro.obs.metrics.MetricsRegistry`
+    (so traces and telemetry sinks see the same numbers the stats do).
+    """
+
+    def get(self: "EngineStats"):
+        return cast(self.metrics.counter(metric).value)
+
+    def set(self: "EngineStats", value) -> None:
+        self.metrics.counter(metric).value = float(value)
+
+    return property(get, set)
+
+
+class EngineStats:
+    """Cumulative counters over every batch an engine has run.
+
+    A thin view over a :class:`~repro.obs.metrics.MetricsRegistry`: the
+    public counter attributes (``jobs_submitted``, ``cache_hits``, …)
+    read and write named registry instruments, so the engine's trace
+    snapshots and its stats report from one source of truth.  Per-job
+    wall times feed a *bounded* histogram (exact count/sum/min/max plus
+    a fixed-size recent tail) instead of the old ever-growing list, so a
+    long-lived engine's telemetry stays O(1) per batch.
+    """
+
+    #: Recent per-job wall times kept for the ``job_times_s`` view.
+    JOB_TIME_TAIL = 256
+
+    jobs_submitted = _counter_property("engine.jobs_submitted")
+    jobs_executed = _counter_property("engine.jobs_executed")
+    cache_hits = _counter_property("engine.cache_hits")
+    deduplicated = _counter_property("engine.deduplicated")
+    shots_sampled = _counter_property("engine.shots_sampled")
+    execution_time_s = _counter_property("engine.execution_time_s", float)
+    batch_time_s = _counter_property("engine.batch_time_s", float)
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self._job_times = self.metrics.histogram(
+            "engine.job_time_s", tail_size=self.JOB_TIME_TAIL
+        )
 
     @property
     def cache_misses(self) -> int:
         """Specs that had to be executed (submitted minus hits and dupes)."""
         return self.jobs_submitted - self.cache_hits - self.deduplicated
+
+    @property
+    def job_times_s(self) -> list[float]:
+        """The most recent executed-job wall times (bounded snapshot).
+
+        At most :data:`JOB_TIME_TAIL` entries, oldest first; the exact
+        count/sum over *every* job survive in ``execution_time_s`` /
+        ``jobs_executed`` and the ``engine.job_time_s`` histogram.
+        """
+        return self._job_times.tail
+
+    def record_job(self, result: JobResult) -> None:
+        """Fold one executed job into the counters and timing histogram."""
+        self.jobs_executed += 1
+        self.execution_time_s += result.wall_time_s
+        self._job_times.observe(result.wall_time_s)
+        if result.shot is not None:
+            self.metrics.counter("engine.shots_sampled").inc(
+                result.shot.shots
+            )
 
     def reset(self) -> None:
         """Zero every counter (the cache itself is untouched).
@@ -85,13 +148,7 @@ class EngineStats:
         resetting between its cold and warm passes so each phase reports
         its own cache-hit/dedup numbers instead of cumulative totals.
         """
-        self.jobs_submitted = 0
-        self.jobs_executed = 0
-        self.cache_hits = 0
-        self.deduplicated = 0
-        self.execution_time_s = 0.0
-        self.batch_time_s = 0.0
-        self.job_times_s.clear()
+        self.metrics.reset()
 
     def to_dict(self) -> dict[str, float]:
         """Plain-JSON snapshot of every counter plus derived rates.
@@ -157,6 +214,12 @@ class ExecutionEngine:
     progress:
         Optional callback invoked after every finished job with
         ``(jobs done, total, result)``.
+    trace:
+        Opt-in structured tracing: a
+        :class:`~repro.obs.trace.TraceRecorder`, a path for one, or
+        ``None`` — which consults the ``TILT_REPRO_TRACE`` environment
+        variable and leaves tracing off when it is unset.  Tracing only
+        *observes*: results are bit-identical with it on or off.
     """
 
     def __init__(self, *, workers: int | None = 1,
@@ -164,8 +227,11 @@ class ExecutionEngine:
                  cache_path: str | os.PathLike[str] | None = None,
                  store: RunStore | str | os.PathLike[str] | None = None,
                  backend: str | Backend | None = None,
-                 progress: ProgressCallback | None = None) -> None:
+                 progress: ProgressCallback | None = None,
+                 trace: TraceRecorder | NullRecorder | str
+                        | os.PathLike[str] | None = None) -> None:
         self.workers = resolve_workers(workers)
+        self.trace = resolve_trace(trace)
         if store is not None:
             if cache is not None or cache_path is not None:
                 raise ReproError(
@@ -190,6 +256,22 @@ class ExecutionEngine:
         count = self.workers if workers is None else resolve_workers(workers)
         return resolve_backend(self.backend, count).describe()
 
+    def describe_backend_config(self, workers: int | None = None
+                                ) -> dict[str, object]:
+        """Structured dispatch configuration of the batch backend.
+
+        The dict form of :meth:`describe_backend` — worker counts and
+        chunking parameters as real values, recorded in traces and
+        :class:`~repro.exec.store.RunManifest` so the actual dispatch
+        configuration of a run is machine-readable.
+        """
+        count = self.workers if workers is None else resolve_workers(workers)
+        resolved = resolve_backend(self.backend, count)
+        describe_config = getattr(resolved, "describe_config", None)
+        if describe_config is None:  # a minimal third-party Backend
+            return {"backend": getattr(resolved, "name", "unknown")}
+        return describe_config()
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -209,53 +291,86 @@ class ExecutionEngine:
         owns its parallelism and is used exactly as constructed —
         ``workers`` does not reconfigure it.
         """
+        trace = self.trace
         batch_start = time.perf_counter()
         batch_workers = (self.workers if workers is None
                          else resolve_workers(workers))
-        keys = [spec_key(spec) for spec in specs]
-        results: list[JobResult | None] = [None] * len(specs)
-        done = 0
-        total = len(specs)
+        with activate(trace), trace.span(
+            "engine.batch", jobs=len(specs), workers=batch_workers,
+        ) as batch_span:
+            keys = [spec_key(spec) for spec in specs]
+            results: list[JobResult | None] = [None] * len(specs)
+            done = 0
+            total = len(specs)
 
-        # 1. Serve cache hits; 2. collapse duplicate keys to one execution.
-        pending: dict[str, list[int]] = {}
-        for index, (spec, key) in enumerate(zip(specs, keys)):
-            cached = self.cache.get(key)
-            if cached is not None:
-                results[index] = cached.with_cache_hit(label=spec.label)
-                self.stats.cache_hits += 1
-                done += 1
-                if self.progress is not None:
-                    self.progress(done, total, results[index])
-            else:
-                pending.setdefault(key, []).append(index)
-        unique = [(key, specs[indices[0]]) for key, indices in pending.items()]
-        self.stats.jobs_submitted += len(specs)
-        self.stats.deduplicated += sum(
-            len(indices) - 1 for indices in pending.values()
-        )
+            # 1. Serve cache hits; 2. collapse duplicates to one execution.
+            pending: dict[str, list[int]] = {}
+            with trace.span("engine.cache_lookup") as lookup_span:
+                for index, (spec, key) in enumerate(zip(specs, keys)):
+                    cached = self.cache.get(key)
+                    if cached is not None:
+                        results[index] = cached.with_cache_hit(
+                            label=spec.label
+                        )
+                        self.stats.cache_hits += 1
+                        done += 1
+                        if self.progress is not None:
+                            self.progress(done, total, results[index])
+                    else:
+                        pending.setdefault(key, []).append(index)
+                unique = [(key, specs[indices[0]])
+                          for key, indices in pending.items()]
+                batch_hits = done
+                batch_dupes = sum(
+                    len(indices) - 1 for indices in pending.values()
+                )
+                self.stats.jobs_submitted += len(specs)
+                self.stats.deduplicated += batch_dupes
+                lookup_span.add(cache_hits=batch_hits,
+                                deduplicated=batch_dupes,
+                                unique=len(unique))
 
-        # 3. Execute the unique misses on the selected backend.  Results
-        # stream: each one is stored (durably, for a RunStore) as it
-        # arrives, so an interrupted serial run keeps its finished jobs.
-        for key, result in self._execute_all(unique, batch_workers, backend):
-            self.cache.store(result)
-            self.stats.jobs_executed += 1
-            self.stats.execution_time_s += result.wall_time_s
-            self.stats.job_times_s.append(result.wall_time_s)
-            for position, index in enumerate(pending[key]):
-                if position == 0:
-                    results[index] = result
-                else:  # duplicate spec in the same batch: shared result
-                    results[index] = result.with_cache_hit(
-                        label=specs[index].label
-                    )
-                done += 1
-                if self.progress is not None:
-                    self.progress(done, total, results[index])
+            # 3. Execute the unique misses on the selected backend.
+            # Results stream: each one is stored (durably, for a
+            # RunStore) as it arrives, so an interrupted serial run
+            # keeps its finished jobs.
+            batch_executed = 0
+            batch_exec_time = 0.0
+            with trace.span("engine.dispatch", jobs=len(unique)):
+                for key, result in self._execute_all(
+                    unique, batch_workers, backend,
+                ):
+                    self.cache.store(result)
+                    self.stats.record_job(result)
+                    batch_executed += 1
+                    batch_exec_time += result.wall_time_s
+                    if trace.enabled:
+                        trace.event(
+                            "job.done", spec_key=key,
+                            wall_time_s=result.wall_time_s,
+                            backend=result.backend, label=result.label,
+                        )
+                    for position, index in enumerate(pending[key]):
+                        if position == 0:
+                            results[index] = result
+                        else:  # duplicate spec in batch: shared result
+                            results[index] = result.with_cache_hit(
+                                label=specs[index].label
+                            )
+                        done += 1
+                        if self.progress is not None:
+                            self.progress(done, total, results[index])
 
-        self.cache.flush()
-        self.stats.batch_time_s += time.perf_counter() - batch_start
+            with trace.span("engine.flush"):
+                self.cache.flush()
+            self.stats.batch_time_s += time.perf_counter() - batch_start
+            if trace.enabled:
+                batch_span.add(cache_hits=batch_hits,
+                               deduplicated=batch_dupes,
+                               executed=batch_executed,
+                               execution_time_s=batch_exec_time)
+                trace.metrics(self.stats.metrics.snapshot())
+                trace.merge_segments()
         assert all(result is not None for result in results)
         return [result for result in results if result is not None]
 

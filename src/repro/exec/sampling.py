@@ -89,19 +89,29 @@ def run_sampled_job(spec: JobSpec, *, shards: int | None = None,
     """
     if spec.shots <= 0:
         raise ReproError("run_sampled_job needs a spec with shots > 0")
+    chosen = engine if engine is not None else default_engine()
     if shards is None:
         if workers is not None:
             shards = resolve_workers(workers)
-        elif engine is not None:
-            shards = engine.workers
         else:
-            shards = default_engine().workers
+            shards = chosen.workers
     shard_specs = shard_sampling_spec(spec, shards)
-    results = run_jobs(shard_specs, workers=workers, backend=exec_backend,
-                       engine=engine)
-    merged = merge_shot_results(
-        [result.shot for result in results if result.shot is not None]
-    )
+    # Span on the chosen engine's recorder (same thread), so the batch
+    # the shards run as nests under this fan-out in the trace; per-shard
+    # timing comes from each shard's own job.execute span.
+    with chosen.trace.span(
+        "sampling.fanout", spec_key=spec_key(spec), label=spec.label,
+        shots=spec.shots, shards=len(shard_specs),
+    ) as span:
+        results = run_jobs(shard_specs, workers=workers,
+                           backend=exec_backend, engine=chosen)
+        merged = merge_shot_results(
+            [result.shot for result in results if result.shot is not None]
+        )
+        span.add(
+            shard_wall_time_s=sum(r.wall_time_s for r in results),
+            cache_hits=sum(1 for r in results if r.cache_hit),
+        )
     first = results[0]
     return JobResult(
         key=spec_key(spec),

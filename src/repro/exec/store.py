@@ -42,12 +42,14 @@ import socket
 import subprocess
 import sys
 import threading
+import time
 import uuid
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
 from repro.exceptions import ReproError
 from repro.exec.jobs import JobResult, result_from_json, result_to_json
+from repro.obs.trace import current_trace
 
 #: Layout marker for segment records and manifests.
 _STORE_VERSION = 1
@@ -149,6 +151,8 @@ class RunStore:
         Keys this store already holds are kept (the on-disk record for
         an equal key is an equal result).
         """
+        start = time.perf_counter()
+        segments = 0
         with self._lock:
             for name in sorted(os.listdir(self._segment_dir)):
                 if not name.endswith(".jsonl"):
@@ -159,6 +163,7 @@ class RunStore:
                         lines = handle.readlines()
                 except OSError:
                     continue
+                segments += 1
                 for line in lines:
                     line = line.strip()
                     if not line:
@@ -172,7 +177,14 @@ class RunStore:
                             ValueError):
                         continue  # torn or foreign line: skip, don't fail
                     self._memory.setdefault(result.key, result)
-            return len(self._memory)
+            count = len(self._memory)
+        trace = current_trace()
+        if trace.enabled:
+            trace.event(
+                "store.reload", root=self._root, segments=segments,
+                entries=count, dur_s=time.perf_counter() - start,
+            )
+        return count
 
     # ------------------------------------------------------------------
     # Manifest
@@ -222,6 +234,10 @@ class RunManifest:
         Keys the store held when the manifest was written.
     backend:
         ``Backend.describe()`` of whatever executed the run.
+    backend_config:
+        ``Backend.describe_config()`` — the structured counterpart of
+        ``backend`` (worker count, chunking policy), empty for legacy
+        manifests.
     engine_stats:
         :meth:`EngineStats.to_dict` snapshot (or a delta) of the run.
     provenance:
@@ -239,6 +255,7 @@ class RunManifest:
     spec_keys: list[str] = field(default_factory=list)
     completed_keys: list[str] = field(default_factory=list)
     backend: str = "serial"
+    backend_config: dict[str, Any] = field(default_factory=dict)
     engine_stats: dict[str, float] = field(default_factory=dict)
     provenance: dict[str, Any] = field(default_factory=dict)
     status: str = "planned"
@@ -273,6 +290,7 @@ class RunManifest:
                 str(key) for key in payload.get("completed_keys", [])
             ],
             backend=str(payload.get("backend", "serial")),
+            backend_config=dict(payload.get("backend_config", {})),
             engine_stats=dict(payload.get("engine_stats", {})),
             provenance=dict(payload.get("provenance", {})),
             status=str(payload.get("status", "planned")),
@@ -312,11 +330,14 @@ def _git(*args: str) -> str | None:
 
 
 def collect_provenance(*, seed: int | None = None,
-                       shots: int | None = None) -> dict[str, Any]:
+                       shots: int | None = None,
+                       trace: str | None = None) -> dict[str, Any]:
     """Reproducibility context for a manifest.
 
     Git fields are ``None`` outside a repository (or without a ``git``
-    binary) rather than an error, so stores work anywhere.
+    binary) rather than an error, so stores work anywhere.  *trace* is
+    the path of the run's trace file when tracing was on (``None``
+    otherwise), so a manifest points at its own telemetry.
     """
     commit = _git("rev-parse", "HEAD")
     dirty = None
@@ -333,4 +354,5 @@ def collect_provenance(*, seed: int | None = None,
         "platform": platform.platform(),
         "seed": seed,
         "shots": shots,
+        "trace": trace,
     }

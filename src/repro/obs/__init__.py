@@ -1,0 +1,46 @@
+"""Operational observability: structured tracing + metrics for the engine.
+
+Two planes, both opt-in and both forbidden from ever touching results:
+
+* :mod:`repro.obs.trace` — hierarchical spans and events written as
+  append-only, torn-line-tolerant JSONL (``ExecutionEngine(trace=...)``
+  or ``TILT_REPRO_TRACE=<path>``), with per-process sidecar segments so
+  pool workers can emit per-job records that merge back into the parent
+  trace;
+* :mod:`repro.obs.metrics` — a counter/gauge/histogram registry that
+  :class:`~repro.exec.engine.EngineStats` is a thin view over.
+
+``python -m repro.obs.report <trace.jsonl>`` renders the offline
+analysis: span tree, per-backend queue/execute breakdown, cache/dedup
+ratios, straggler and critical-path analysis, and a cross-run diff of
+two traces (``--diff``).
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACE,
+    NullRecorder,
+    TRACE_ENV_VAR,
+    TraceRecorder,
+    activate,
+    current_trace,
+    load_records,
+    resolve_trace,
+    worker_recorder,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACE",
+    "NullRecorder",
+    "TRACE_ENV_VAR",
+    "TraceRecorder",
+    "activate",
+    "current_trace",
+    "load_records",
+    "resolve_trace",
+    "worker_recorder",
+]

@@ -1,0 +1,223 @@
+"""Counter / gauge / histogram registry for operational telemetry.
+
+:class:`MetricsRegistry` is the in-process metrics plane behind
+:class:`~repro.exec.engine.EngineStats` (which is a thin view over one)
+and anything else that wants named counters without threading ad-hoc
+attributes around.  Three instrument kinds, modelled on the DCDB-style
+per-sensor monitoring the ROADMAP's telemetry item calls for:
+
+* :class:`Counter` — monotonically accumulating totals (jobs submitted,
+  cache hits, shots sampled);
+* :class:`Gauge` — a last-written value (current pool size, rung index);
+* :class:`Histogram` — a **bounded** distribution summary: exact count /
+  sum / min / max plus a fixed-size tail of the most recent
+  observations, so a long-lived engine's per-job timing telemetry stays
+  O(tail) instead of growing without bound (the old
+  ``EngineStats.job_times_s`` list grew one float per executed job,
+  forever).
+
+Everything here is deterministic and wall-clock free: instruments hold
+values pushed into them; *when* something happened is the trace's job
+(:mod:`repro.obs.trace`).  All instruments are thread-safe for the
+engine's streaming-result path (the GIL makes the float ``+=`` on a
+single attribute atomic enough, but :class:`Histogram` mutates several
+fields per observation, so it locks).
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+import threading
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default bounded-tail size for histograms (recent-observation window).
+DEFAULT_TAIL = 256
+
+
+class Counter:
+    """A float total that only accumulates (but may be reset to zero)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def to_json(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A last-written value (``nan`` until first set)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = math.nan
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def reset(self) -> None:
+        self.value = math.nan
+
+    def to_json(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Bounded distribution summary: exact moments + a recent-value tail.
+
+    ``count`` / ``total`` / ``minimum`` / ``maximum`` are exact over
+    every observation ever made; ``tail`` holds only the most recent
+    *tail_size* values (a deque), which is what percentile estimates and
+    the ``job_times_s`` compatibility view are computed from.  Memory is
+    O(tail_size) no matter how many observations arrive.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum",
+                 "_tail", "_lock")
+
+    def __init__(self, name: str, tail_size: int = DEFAULT_TAIL) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._tail: collections.deque[float] = collections.deque(
+            maxlen=tail_size
+        )
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+            self._tail.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def tail(self) -> list[float]:
+        """The most recent observations, oldest first (bounded copy)."""
+        with self._lock:
+            return list(self._tail)
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the *tail* window (0 when empty)."""
+        values = sorted(self.tail)
+        if not values:
+            return 0.0
+        rank = min(len(values) - 1, max(0, math.ceil(q * len(values)) - 1))
+        return values[rank]
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.minimum = math.inf
+            self.maximum = -math.inf
+            self._tail.clear()
+
+    def to_json(self) -> dict[str, Any]:
+        with self._lock:
+            count, total = self.count, self.total
+            lo, hi = self.minimum, self.maximum
+        return {
+            "count": count,
+            "sum": total,
+            "mean": (total / count) if count else 0.0,
+            "min": lo if count else 0.0,
+            "max": hi if count else 0.0,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and listed deterministically.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking for
+    the same name twice returns the same instrument, and asking for a
+    name that exists as a *different* kind raises — a silent kind clash
+    would split telemetry between two instruments with one name.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, kind: type) -> Any:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = (kind(name) if kind is not Histogram
+                              else Histogram(name))
+                self._instruments[name] = instrument
+            elif type(instrument) is not kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, tail_size: int = DEFAULT_TAIL) -> Histogram:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = Histogram(name, tail_size)
+                self._instruments[name] = instrument
+            elif type(instrument) is not Histogram:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not Histogram"
+                )
+            return instrument
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        with self._lock:
+            ordered = sorted(self._instruments)
+            return iter([self._instruments[name] for name in ordered])
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations are kept)."""
+        for instrument in self:
+            instrument.reset()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-JSON view of every instrument, sorted by name."""
+        return {instrument.name: instrument.to_json() for instrument in self}

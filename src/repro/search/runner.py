@@ -184,9 +184,14 @@ def run_search(space: SearchSpace, strategy: SearchStrategy, *,
         chosen = engine if engine is not None else default_engine()
     before = chosen.stats.to_dict()
     submitted = 0
+    rounds = 0
     submitted_keys: list[str] = []
+    trace = chosen.trace
     provenance = (
-        collect_provenance(seed=space.seed, shots=space.shots)
+        collect_provenance(
+            seed=space.seed, shots=space.shots,
+            trace=trace.path if trace.enabled else None,
+        )
         if run_store is not None else None
     )
 
@@ -198,6 +203,7 @@ def run_search(space: SearchSpace, strategy: SearchStrategy, *,
             spec_keys=list(submitted_keys),
             completed_keys=run_store.keys(),
             backend=chosen.describe_backend(workers),
+            backend_config=chosen.describe_backend_config(workers),
             engine_stats=_stats_delta(before, chosen.stats.to_dict()),
             provenance=provenance or {},
             status=status,
@@ -210,7 +216,7 @@ def run_search(space: SearchSpace, strategy: SearchStrategy, *,
 
     def evaluate(candidates: Sequence[Candidate],
                  shots: int) -> list[SearchPoint]:
-        nonlocal submitted
+        nonlocal submitted, rounds
         specs = []
         chunks: list[tuple[Candidate, int]] = []
         for candidate in candidates:
@@ -218,26 +224,38 @@ def run_search(space: SearchSpace, strategy: SearchStrategy, *,
             chunks.append((candidate, len(candidate_specs)))
             specs.extend(candidate_specs)
         submitted += len(specs)
-        if run_store is not None:
-            # Record the round's plan *before* executing it, so a run
-            # killed mid-round leaves a manifest whose pending_keys name
-            # exactly the unfinished work.
-            submitted_keys.extend(spec_key(spec) for spec in specs)
-            write_manifest("running")
-        results = run_jobs(specs, workers=workers, backend=exec_backend,
-                           engine=chosen)
-        points: list[SearchPoint] = []
-        offset = 0
-        for candidate, count in chunks:
-            points.append(_point_from_results(
-                space, candidate, shots, results[offset:offset + count],
-            ))
-            offset += count
-        if run_store is not None:
-            write_manifest("running")
+        # Each strategy-requested round is one span (and one engine
+        # batch): rung structure becomes directly visible in the trace.
+        with trace.span(
+            "search.round", round=rounds, strategy=strategy.name,
+            candidates=len(candidates), jobs=len(specs), shots=shots,
+        ):
+            rounds += 1
+            if run_store is not None:
+                # Record the round's plan *before* executing it, so a run
+                # killed mid-round leaves a manifest whose pending_keys
+                # name exactly the unfinished work.
+                submitted_keys.extend(spec_key(spec) for spec in specs)
+                write_manifest("running")
+            results = run_jobs(specs, workers=workers, backend=exec_backend,
+                               engine=chosen)
+            points: list[SearchPoint] = []
+            offset = 0
+            for candidate, count in chunks:
+                points.append(_point_from_results(
+                    space, candidate, shots, results[offset:offset + count],
+                ))
+                offset += count
+            if run_store is not None:
+                write_manifest("running")
         return points
 
-    points, rungs = strategy.run(space, evaluate)
+    with trace.span(
+        "search.run", strategy=strategy.name, shots=space.shots,
+        knobs=len(space.knob_labels()), durable=run_store is not None,
+    ) as search_span:
+        points, rungs = strategy.run(space, evaluate)
+        search_span.add(rounds=rounds)
     points = sorted(points, key=lambda point: point.candidate)
     return SearchResult(
         strategy=strategy.name,

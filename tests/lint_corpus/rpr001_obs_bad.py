@@ -1,0 +1,18 @@
+# repro-lint: treat-as=src/repro/obs_helpers/example_recorder.py
+"""RPR001 obs carve-out positives: the allowlist is a prefix, not a grep.
+
+``src/repro/obs_helpers/`` is *not* ``src/repro/obs/`` — wall-clock
+reads here must still be flagged, and RNG violations are flagged even
+inside the real obs tree (the carve-out covers only the wall clock).
+"""
+
+import random
+import time
+
+
+def stamp_record() -> dict:
+    return {"ts": time.time()}               # RPR001: outside the carve-out
+
+
+def worker_nonce() -> float:
+    return random.random()                   # RPR001: module-global stream

@@ -1,0 +1,24 @@
+# repro-lint: treat-as=src/repro/obs/example_recorder.py
+"""RPR001 obs carve-out negative: wall clock is legal inside repro.obs.
+
+Trace records need epoch timestamps (comparable across processes), so
+``time.time()`` is allowlisted for ``src/repro/obs/`` — but only the
+wall-clock check is relaxed: the RNG checks still apply here.
+"""
+
+import random
+import time
+
+
+def span_record(name: str) -> dict:
+    start = time.perf_counter()
+    return {
+        "name": name,
+        "ts": time.time(),                   # allowlisted: telemetry stamp
+        "ts_ns": time.time_ns(),             # allowlisted: telemetry stamp
+        "dur_s": time.perf_counter() - start,
+    }
+
+
+def jitter_nonce(seed: int) -> float:
+    return random.Random(seed).random()      # seeded: fine everywhere

@@ -66,6 +66,22 @@ class TestCorpus:
                           ignore=[rule_id])
         assert report.active == [], [v.format() for v in report.active]
 
+    def test_obs_wall_clock_carve_out_is_clean(self):
+        """time.time()/time_ns() inside src/repro/obs/ is allowlisted."""
+        report = lint_one("rpr001_obs_good.py", select=["RPR001"])
+        assert report.active == [], [v.format() for v in report.active]
+        assert report.exit_code == 0
+
+    def test_obs_carve_out_does_not_leak(self):
+        """The carve-out is a path prefix: near-miss paths still fire,
+        and RNG findings fire even where the wall clock is allowed."""
+        report = lint_one("rpr001_obs_bad.py", select=["RPR001"])
+        messages = [v.message for v in report.active]
+        assert len(messages) == 2, messages
+        assert any("wall-clock" in message for message in messages)
+        assert any("module-global" in message for message in messages)
+        assert report.exit_code == 1
+
 
 class TestSuppressions:
     def test_justified_suppression_passes(self):
