@@ -17,7 +17,12 @@ tracked hot paths are the ones the ROADMAP's perf work landed on:
   correlated-scenario variant in ``bench_scenarios.py``);
 * ``obs_overhead``      — the engine batch with tracing off and on
   (``bench_obs.py``): instrumentation must stay near-free when off and
-  cheap when on.
+  cheap when on;
+* ``lint`` / ``lint_graph`` — the blocking CI lint step, per-file and
+  with the whole-program ``--graph`` pass
+  (``bench_lint.py::test_lint_whole_repo`` /
+  ``::test_lint_whole_repo_graph``): graph construction must not grow
+  superlinearly in project size.
 
 CI machines are not the machine the baseline was recorded on, so raw
 medians are not comparable run to run.  The gate therefore normalises:
@@ -60,7 +65,9 @@ TRACKED_PATTERNS: tuple[tuple[str, str], ...] = (
     ("stochastic_shots",
      r"bench_scenarios\.py::test_correlated_sampling_shots_per_second"),
     ("lint",
-     r"bench_lint\.py::test_lint_whole_repo"),
+     r"bench_lint\.py::test_lint_whole_repo$"),
+    ("lint_graph",
+     r"bench_lint\.py::test_lint_whole_repo_graph"),
     ("obs_overhead",
      r"bench_obs\.py::test_untraced_engine_batch"),
     ("obs_overhead",

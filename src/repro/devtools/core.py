@@ -28,10 +28,11 @@ from __future__ import annotations
 import ast
 import io
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 #: Rule id reserved for the linter's own hygiene findings: syntax errors
 #: in scanned files, malformed suppressions, unknown rule ids in a
@@ -340,11 +341,22 @@ def apply_suppressions(ctx: FileContext,
 # ----------------------------------------------------------------------
 @dataclass
 class LintReport:
-    """Outcome of one lint run: every finding plus scan bookkeeping."""
+    """Outcome of one lint run: every finding plus scan bookkeeping.
+
+    ``rule_seconds`` is wall time per rule id (plus ``graph_build`` when
+    the whole-program pass ran); ``file_counts`` is per-file
+    active/suppressed totals.  Both feed the JSON ``profile`` section —
+    the report stays byte-deterministic *except* for the timing values.
+    ``graph`` holds the :class:`~repro.devtools.graph.ProjectGraph` when
+    graph rules ran (for ``--graph-json``); it is not serialized here.
+    """
 
     violations: list[Violation] = field(default_factory=list)
     files_scanned: int = 0
     rules: tuple[str, ...] = ()
+    rule_seconds: dict[str, float] = field(default_factory=dict)
+    file_counts: dict[str, dict[str, int]] = field(default_factory=dict)
+    graph: Any = None
 
     @property
     def active(self) -> list[Violation]:
@@ -361,12 +373,22 @@ class LintReport:
 
     def to_json(self) -> dict:
         return {
-            "version": 1,
+            "version": 2,
             "files_scanned": self.files_scanned,
             "rules": list(self.rules),
             "active": len(self.active),
             "suppressed": len(self.suppressed),
             "violations": [v.to_json() for v in self.violations],
+            "profile": {
+                "rule_seconds": {
+                    rule: round(seconds, 6)
+                    for rule, seconds in sorted(self.rule_seconds.items())
+                },
+                "files": {
+                    path: counts
+                    for path, counts in sorted(self.file_counts.items())
+                },
+            },
         }
 
 
@@ -416,17 +438,31 @@ def run_lint(paths: Sequence[str | Path], *,
              rules: Sequence[Rule] | None = None,
              select: Sequence[str] | None = None,
              ignore: Sequence[str] | None = None,
-             root: str | Path | None = None) -> LintReport:
+             root: str | Path | None = None,
+             graph: bool = False) -> LintReport:
     """Lint *paths* with the given (or registered) rule set.
 
     ``select`` keeps only the named rule ids, ``ignore`` drops the named
     ones; :data:`META_RULE` hygiene findings are always reported.
     Unknown ids in either list raise ``ValueError`` so a typo in CI
     cannot silently disable a gate.
-    """
-    from repro.devtools.rules import all_rules
 
-    chosen = list(rules) if rules is not None else all_rules()
+    ``graph=True`` adds the whole-program rules (RPR006-RPR009): after
+    the per-file pass, every scanned file that maps into the ``repro``
+    package joins one :class:`~repro.devtools.graph.ProjectGraph` and
+    each graph rule runs once over it.  Graph findings route through
+    the suppression directives of the file they are anchored in,
+    exactly like per-file findings.  Passing graph rules explicitly via
+    ``rules`` also enables the pass.
+    """
+    from repro.devtools.rules import all_graph_rules, all_rules
+
+    if rules is not None:
+        chosen = list(rules)
+    else:
+        chosen = all_rules()
+        if graph:
+            chosen.extend(all_graph_rules())
     known = {rule.rule_id for rule in chosen} | {META_RULE}
     for requested in (*(select or ()), *(ignore or ())):
         if requested not in known:
@@ -439,21 +475,62 @@ def run_lint(paths: Sequence[str | Path], *,
     if ignore:
         chosen = [rule for rule in chosen if rule.rule_id not in set(ignore)]
 
+    per_file_rules = [rule for rule in chosen
+                      if not getattr(rule, "requires_graph", False)]
+    graph_rules = [rule for rule in chosen
+                   if getattr(rule, "requires_graph", False)]
+
     report = LintReport(rules=tuple(rule.rule_id for rule in chosen))
+    timings = {rule.rule_id: 0.0 for rule in chosen}
     files = discover_files(paths)
     anchor = files[0] if files else Path.cwd()
     resolved_root = (Path(root) if root is not None
                      else find_project_root(anchor))
+    contexts: dict[str, FileContext] = {}
     for path in files:
         ctx, meta = load_context(path, resolved_root)
         report.violations.extend(meta)  # never suppressable
         if ctx is None:
             continue
         report.files_scanned += 1
+        contexts[ctx.real_rel] = ctx
         findings: list[Violation] = []
-        for rule in chosen:
+        for rule in per_file_rules:
             if rule.applies_to(ctx):
-                findings.extend(rule.check(ctx))
+                started = time.perf_counter()
+                found = list(rule.check(ctx))
+                timings[rule.rule_id] += time.perf_counter() - started
+                findings.extend(found)
         report.violations.extend(apply_suppressions(ctx, findings))
+
+    if graph_rules:
+        from repro.devtools.graph import build_graph
+
+        started = time.perf_counter()
+        project = build_graph(contexts.values())
+        timings["graph_build"] = time.perf_counter() - started
+        report.graph = project
+        for rule in graph_rules:
+            started = time.perf_counter()
+            found = list(rule.check_project(project))
+            timings[rule.rule_id] += time.perf_counter() - started
+            by_path: dict[str, list[Violation]] = {}
+            for violation in found:
+                by_path.setdefault(violation.path, []).append(violation)
+            for vpath in sorted(by_path):
+                anchor_ctx = contexts.get(vpath)
+                if anchor_ctx is not None:
+                    report.violations.extend(
+                        apply_suppressions(anchor_ctx, by_path[vpath])
+                    )
+                else:
+                    report.violations.extend(by_path[vpath])
+
+    report.rule_seconds = timings
     report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    for violation in report.violations:
+        entry = report.file_counts.setdefault(
+            violation.path, {"active": 0, "suppressed": 0}
+        )
+        entry["suppressed" if violation.suppressed else "active"] += 1
     return report

@@ -1,10 +1,14 @@
-"""The repo's invariant rule set, RPR001-RPR005.
+"""The repo's invariant rule set, RPR001-RPR009.
 
 Each rule lives in its own module and pins one ROADMAP architecture
 invariant; :func:`all_rules` builds a fresh instance list in id order.
-Adding a rule = a new module with a :class:`~repro.devtools.core.Rule`
-subclass, an entry here, positive/negative corpus files under
-``tests/lint_corpus/``, and a row in the README rule table.
+RPR001-RPR005 are per-file; RPR006-RPR009 are whole-program rules over
+the :mod:`repro.devtools.graph` project graph and come from
+:func:`all_graph_rules` (enabled by ``run_lint(..., graph=True)`` /
+``lint --graph``).  Adding a rule = a new module with a
+:class:`~repro.devtools.core.Rule` subclass, an entry here,
+positive/negative corpus files under ``tests/lint_corpus/``, and a row
+in the README rule table.
 """
 
 from __future__ import annotations
@@ -13,15 +17,24 @@ from repro.devtools.core import Rule
 from repro.devtools.rules.determinism import DeterminismRule
 from repro.devtools.rules.engine_routing import EngineRoutingRule
 from repro.devtools.rules.exceptions import SwallowedExceptionRule
+from repro.devtools.rules.layering import LayeringRule
 from repro.devtools.rules.scenarios import ScenarioRegistrationRule
+from repro.devtools.rules.seed_dataflow import SeedDataflowRule
+from repro.devtools.rules.shared_state import SharedStateRule
 from repro.devtools.rules.spec_keys import SpecKeyStabilityRule
+from repro.devtools.rules.worker_boundary import WorkerBoundaryRule
 
 __all__ = [
     "DeterminismRule",
     "EngineRoutingRule",
+    "LayeringRule",
     "ScenarioRegistrationRule",
+    "SeedDataflowRule",
+    "SharedStateRule",
     "SpecKeyStabilityRule",
     "SwallowedExceptionRule",
+    "WorkerBoundaryRule",
+    "all_graph_rules",
     "all_rules",
 ]
 
@@ -33,7 +46,19 @@ _RULE_CLASSES: tuple[type[Rule], ...] = (
     SwallowedExceptionRule,
 )
 
+_GRAPH_RULE_CLASSES: tuple[type[Rule], ...] = (
+    LayeringRule,
+    WorkerBoundaryRule,
+    SharedStateRule,
+    SeedDataflowRule,
+)
+
 
 def all_rules() -> list[Rule]:
-    """Fresh instances of every registered rule, in rule-id order."""
+    """Fresh instances of every per-file rule, in rule-id order."""
     return [rule_class() for rule_class in _RULE_CLASSES]
+
+
+def all_graph_rules() -> list[Rule]:
+    """Fresh instances of the whole-program rules, in rule-id order."""
+    return [rule_class() for rule_class in _GRAPH_RULE_CLASSES]

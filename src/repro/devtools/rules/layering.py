@@ -1,0 +1,138 @@
+"""RPR006 — architecture layering: imports flow down, never sideways-up.
+
+The ROADMAP's package architecture is a DAG: workload/device/noise
+models at the bottom, the execution engine in the middle, search and
+analysis drivers on top.  :data:`LAYER_TABLE` is the declarative
+contract — for every top-level package under ``repro``, the set of
+other packages it may import.  Anything not listed is a violation:
+
+* base layers (``circuits``/``arch``/``noise``/``workloads``/``sim``,
+  plus ``compiler`` between them) may not import ``exec`` or the
+  driver layers — they must stay importable on a bare worker;
+* ``exec`` may not import ``core``/``search``/``analysis`` (the engine
+  serves drivers, never calls back into them);
+* ``devtools`` imports **no runtime modules** — the linter must be able
+  to analyse a broken tree without executing it;
+* ``obs`` is a leaf (imports nothing in-project) and is imported only
+  by ``exec`` and ``search`` — the observability plane hangs off the
+  engine, not off the physics;
+* the ``repro`` package root (``__init__``/``exceptions``/``version``)
+  is the public facade and may re-export everything runtime, but never
+  ``devtools`` or ``obs`` internals.
+
+A package absent from the table (a future ``repro.remote``?) is flagged
+on both ends until a PR adds a row — extending the layering is a
+deliberate, reviewed act, exactly like extending a suppression
+allowlist.
+
+The second check is the **import-cycle ban**: module-level imports
+between scanned project modules must form a DAG.  Function-scoped
+imports are exempt (they are the sanctioned cycle-breaking idiom, e.g.
+``run_lint`` importing the rule registry lazily).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.devtools.core import Violation
+from repro.devtools.graph import GraphRule, ProjectGraph, package_of
+
+#: package -> other repro packages it may import (itself always legal).
+#: Order mirrors the architecture: the further down the dict, the higher
+#: the layer.
+LAYER_TABLE: dict[str, frozenset[str]] = {
+    "exceptions": frozenset(),
+    "version": frozenset(),
+    "obs": frozenset(),                       # leaf: no runtime imports
+    "circuits": frozenset({"exceptions"}),
+    "arch": frozenset({"exceptions"}),
+    "noise": frozenset({"circuits", "exceptions"}),
+    "compiler": frozenset({"arch", "circuits", "exceptions"}),
+    "workloads": frozenset({"circuits", "compiler", "exceptions"}),
+    "sim": frozenset({"arch", "circuits", "compiler", "noise",
+                      "exceptions"}),
+    "exec": frozenset({"arch", "circuits", "compiler", "noise", "obs",
+                       "sim", "exceptions"}),
+    "core": frozenset({"arch", "circuits", "compiler", "exec", "noise",
+                       "sim", "exceptions"}),
+    "search": frozenset({"arch", "circuits", "compiler", "core", "exec",
+                         "noise", "sim", "exceptions"}),
+    "analysis": frozenset({"arch", "circuits", "compiler", "core", "exec",
+                           "noise", "search", "sim", "workloads",
+                           "exceptions"}),
+    "devtools": frozenset(),                  # no runtime imports at all
+    # the repro/__init__ facade: everything runtime, never devtools/obs
+    "": frozenset({"arch", "circuits", "compiler", "core", "exceptions",
+                   "exec", "noise", "search", "sim", "version",
+                   "workloads"}),
+}
+
+
+class LayeringRule(GraphRule):
+    rule_id = "RPR006"
+    description = (
+        "architecture layering: imports must follow the declarative "
+        "layer table (circuits/arch/sim/noise/workloads -> exec -> "
+        "search/analysis; devtools imports no runtime modules; obs is "
+        "a leaf used only by exec/search) and module-level project "
+        "imports must be cycle-free"
+    )
+
+    def check_project(self, project: ProjectGraph) -> Iterable[Violation]:
+        for name in sorted(project.modules):
+            module = project.modules[name]
+            allowed = LAYER_TABLE.get(module.package)
+            if allowed is None:
+                yield self.violation(
+                    module.ctx, module.ctx.tree,
+                    f"package 'repro.{module.package}' is not in the "
+                    f"RPR006 layer table; add a reviewed row to "
+                    f"LAYER_TABLE (devtools/rules/layering.py) before "
+                    f"introducing a new top-level package",
+                )
+                continue
+            for edge in module.imports:
+                target_pkg = package_of(edge.target)
+                if target_pkg == module.package:
+                    continue
+                if target_pkg in allowed:
+                    continue
+                if target_pkg not in LAYER_TABLE:
+                    yield self.violation(
+                        module.ctx, edge.node,
+                        f"import of '{edge.target}' targets package "
+                        f"'repro.{target_pkg}' which is not in the "
+                        f"RPR006 layer table; add a reviewed row to "
+                        f"LAYER_TABLE first",
+                    )
+                    continue
+                label = target_pkg or "the repro package root"
+                yield self.violation(
+                    module.ctx, edge.node,
+                    f"layering violation: 'repro.{module.package}' may "
+                    f"not import '{edge.target}' ({label} is not in its "
+                    f"allowed layer set {sorted(allowed) or '{}'}); "
+                    f"invert the dependency or move the shared code "
+                    f"down a layer",
+                )
+        for cycle in project.import_cycles():
+            anchor = project.modules[cycle[0]]
+            line = 1
+            for edge in anchor.imports:
+                if edge.top_level and edge.target.startswith(
+                        cycle[1 % len(cycle)]):
+                    line = edge.node.lineno
+                    break
+            yield Violation(
+                rule=self.rule_id,
+                path=anchor.ctx.real_rel,
+                line=line,
+                col=1,
+                message=(
+                    "module-level import cycle: "
+                    + " -> ".join((*cycle, cycle[0]))
+                    + "; break it by inverting a dependency or moving "
+                    "one import into the function that needs it"
+                ),
+            )

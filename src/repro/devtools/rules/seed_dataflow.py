@@ -1,0 +1,235 @@
+"""RPR009 — seed dataflow: RNG seeds must derive from parameters.
+
+RPR001 polices *construction* (no unseeded generators, no global numpy
+API); this rule polices the *seed expression itself* in the physics
+core — ``sim/`` and ``exec/sampling.py``, the code whose outputs the
+paper's figures are built from.  Every argument to a
+``default_rng``/``Random``/``RandomState`` constructor there must be
+**derived**: its dataflow (intraprocedural, flow-insensitive) must root
+in function parameters — ``seed``, ``shot_index``, ``spec.seed``,
+``(seed, shot_index)`` tuples, arithmetic thereon — because that is
+what makes shot streams reproducible *and* shard-stable: the engine can
+re-derive the exact stream for shot *k* on any worker from
+``(spec.seed, k)`` alone.
+
+Violations:
+
+* a **constant** seed (``default_rng(1234)``): every call site shares
+  one stream, so sharding silently correlates shots;
+* any **ambient** leaf (module global, imported symbol, anything not
+  rooted in a parameter): the stream depends on process state that a
+  remote worker will not share;
+* **module-level** RNG construction: the generator's stream position
+  becomes import-order state.
+
+Unseeded calls (``default_rng()``) are RPR001's finding, not ours — a
+missing seed expression is a determinism bug before it is a dataflow
+bug, and one finding per defect keeps suppressions honest.
+
+Names are classified ``derived`` / ``constant`` / ``ambient`` by a
+small fixpoint over assignments; ambient dominates derived dominates
+constant (flow-insensitive, biased to over-report ambient).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.devtools.core import (
+    Violation,
+    canonical_call_name,
+    import_aliases,
+)
+from repro.devtools.graph import (
+    MODULE_BODY,
+    FunctionInfo,
+    GraphRule,
+    ModuleInfo,
+    ProjectGraph,
+    _function_body_nodes,
+)
+
+#: Terminal names of RNG constructors whose seed argument we audit.
+RNG_CONSTRUCTORS = frozenset({"default_rng", "Random", "RandomState"})
+
+DERIVED = "derived"
+CONSTANT = "constant"
+AMBIENT = "ambient"
+
+
+def _in_scope(module: ModuleInfo) -> bool:
+    return (module.ctx.in_dir("src/repro/sim/")
+            or module.ctx.is_file("src/repro/exec/sampling.py"))
+
+
+def _name_leaves(expr: ast.expr) -> Iterator[str]:
+    """Root names the value of *expr* depends on.
+
+    An attribute chain contributes its head (``spec.seed`` -> ``spec``);
+    a call contributes its arguments but not its (dotted) callee name.
+    """
+    stack: list[ast.AST] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Call):
+            if not isinstance(node.func, (ast.Name, ast.Attribute)):
+                stack.append(node.func)
+            stack.extend(node.args)
+            stack.extend(kw.value for kw in node.keywords)
+        elif isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            head: ast.expr = node
+            while isinstance(head, ast.Attribute):
+                head = head.value
+            if isinstance(head, ast.Name):
+                yield head.id
+            else:
+                stack.append(head)
+        else:
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _parameters(fn: FunctionInfo) -> set[str]:
+    """Parameter names of *fn* and of every function nested in it."""
+    params: set[str] = set()
+    for node in _function_body_nodes(fn):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            continue
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            params.add(arg.arg)
+        if args.vararg is not None:
+            params.add(args.vararg.arg)
+        if args.kwarg is not None:
+            params.add(args.kwarg.arg)
+    return params
+
+
+class _Dataflow:
+    """Flow-insensitive name classification inside one function."""
+
+    def __init__(self, fn: FunctionInfo) -> None:
+        self.derived: set[str] = _parameters(fn)
+        self.constant: set[str] = set()
+        # everything else (module globals, imports, unknowns) is ambient
+        assignments: list[tuple[ast.expr, ast.expr]] = []
+        for node in _function_body_nodes(fn):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    assignments.append((target, node.value))
+            elif isinstance(node, (ast.AnnAssign, ast.NamedExpr)):
+                if node.value is not None:
+                    assignments.append((node.target, node.value))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                assignments.append((node.target, node.iter))
+        # fixpoint: chained assignments (a = seed; b = a) settle in
+        # bounded passes because names only move upward in the lattice
+        # constant -> derived (ambient names simply never enter a set)
+        for _ in range(len(assignments) + 1):
+            changed = False
+            for target, value in assignments:
+                category = self.classify(value)
+                if category == AMBIENT:
+                    continue
+                dest = (self.derived if category == DERIVED
+                        else self.constant)
+                for name in self._target_names(target):
+                    if name not in dest:
+                        dest.add(name)
+                        changed = True
+            if not changed:
+                break
+        # a name seen both ways counts as derived (param-rooted on at
+        # least one path), never ambient
+        self.constant -= self.derived
+
+    @staticmethod
+    def _target_names(target: ast.expr) -> Iterator[str]:
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from _Dataflow._target_names(element)
+        elif isinstance(target, ast.Starred):
+            yield from _Dataflow._target_names(target.value)
+
+    def classify(self, expr: ast.expr) -> str:
+        leaves = list(_name_leaves(expr))
+        if any(leaf not in self.derived and leaf not in self.constant
+               for leaf in leaves):
+            return AMBIENT
+        if any(leaf in self.derived for leaf in leaves):
+            return DERIVED
+        return CONSTANT
+
+
+class SeedDataflowRule(GraphRule):
+    rule_id = "RPR009"
+    description = (
+        "seed dataflow: every default_rng/Random seed argument in sim/ "
+        "and exec/sampling.py must derive from function parameters "
+        "(e.g. (seed, shot_index)), never from constants or ambient "
+        "module state"
+    )
+
+    def check_project(self, project: ProjectGraph) -> Iterable[Violation]:
+        for name in sorted(project.modules):
+            module = project.modules[name]
+            if not _in_scope(module):
+                continue
+            aliases = import_aliases(module.ctx.tree)
+            for qualname in sorted(module.functions):
+                fn = module.functions[qualname]
+                yield from self._check_function(module, fn, aliases)
+
+    def _check_function(self, module: ModuleInfo, fn: FunctionInfo,
+                        aliases: dict[str, str]) -> Iterable[Violation]:
+        rng_calls = []
+        for node in _function_body_nodes(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = canonical_call_name(node, aliases)
+            if callee is None:
+                continue
+            if callee.rsplit(".", 1)[-1] in RNG_CONSTRUCTORS:
+                rng_calls.append((node, callee))
+        if not rng_calls:
+            return
+        if fn.qualname == MODULE_BODY:
+            for call, callee in rng_calls:
+                yield self.violation(
+                    module.ctx, call,
+                    f"module-level {callee}(...) makes the stream "
+                    f"position import-order state; construct "
+                    f"generators inside the function that uses them, "
+                    f"seeded from its parameters",
+                )
+            return
+        flow = _Dataflow(fn)
+        for call, callee in rng_calls:
+            seed_args = [*call.args,
+                         *(kw.value for kw in call.keywords)]
+            if not seed_args:
+                continue  # unseeded construction is RPR001's finding
+            categories = [flow.classify(arg) for arg in seed_args]
+            if AMBIENT in categories:
+                yield self.violation(
+                    module.ctx, call,
+                    f"{callee}(...) in {fn.qualname}() is seeded from "
+                    f"ambient state (a module global or import, not a "
+                    f"function parameter); a remote worker cannot "
+                    f"reproduce this stream — derive the seed from "
+                    f"parameters, e.g. (seed, shot_index)",
+                )
+            elif DERIVED not in categories:
+                yield self.violation(
+                    module.ctx, call,
+                    f"{callee}(...) in {fn.qualname}() uses a "
+                    f"constant seed: every call site shares one "
+                    f"stream, so sharded shots silently correlate; "
+                    f"derive the seed from function parameters, e.g. "
+                    f"(seed, shot_index)",
+                )

@@ -1,0 +1,269 @@
+"""RPR007 — worker-boundary serialization safety.
+
+Everything crossing ``Backend.submit`` must survive pickling today
+(process pool) and JSON/wire serialization tomorrow (``RemoteBackend``).
+Three statically checkable hazards:
+
+* **closures over the boundary** — a lambda or locally defined function
+  passed to a dispatch call (``pool.submit(...)``,
+  ``loop.run_in_executor(...)``, ``Backend.submit``) cannot be pickled
+  by the process pool and can never be shipped to a remote worker; task
+  functions must be module level (that is why ``execute_spec`` and
+  ``_execute_chunk`` live at module scope);
+* **non-serializable ``JobSpec`` fields** — every field annotation of a
+  spec class (:data:`SPEC_CLASSES`, in ``exec/``) must be built from
+  :data:`SERIALIZABLE_ANNOTATIONS`: plain data, or the project
+  dataclasses with pinned JSON round trips.  A ``Callable``, file
+  object, lock or recorder field would make every spec batch
+  unpicklable the day it is populated;
+* **ambient handle capture** — worker-reachable code (see
+  :data:`~repro.devtools.graph.WORKER_ROOTS`) may not read module-level
+  globals holding live OS handles: ``open(...)`` results,
+  ``threading.Lock``-family objects, or parent-process
+  ``TraceRecorder`` handles (:data:`PARENT_HANDLE_GLOBALS`).  Under
+  ``fork`` these are silently shared with the parent (a held lock
+  deadlocks, a shared file descriptor interleaves writes); under
+  ``spawn``/remote they simply do not exist.  ``repro.obs.trace`` is
+  the sanctioned channel implementation (workers write private sidecar
+  segments via ``worker_recorder``) and is exempt as a module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.core import Violation, dotted_name
+from repro.devtools.graph import (
+    MODULE_BODY,
+    GraphRule,
+    ModuleInfo,
+    ProjectGraph,
+    _function_body_nodes,
+)
+
+#: Call attributes that hand work (and therefore arguments) to another
+#: process/thread/machine.
+BOUNDARY_CALL_ATTRS = frozenset({"submit", "run_in_executor"})
+
+#: Spec classes whose fields cross the worker boundary by value.
+SPEC_CLASSES = frozenset({"JobSpec"})
+
+#: Annotation atoms a spec field may be built from: plain data, and the
+#: project dataclasses whose JSON round trip is pinned by tests.
+SERIALIZABLE_ANNOTATIONS = frozenset({
+    "None", "bool", "int", "float", "str", "bytes",
+    "tuple", "list", "dict", "set", "frozenset",
+    "Optional", "Union", "Literal", "Final",
+    "Circuit", "DeviceSpec", "CompilerConfig", "NoiseParameters",
+})
+
+#: Constructors whose module-level results are live per-process handles.
+HANDLE_CONSTRUCTORS = frozenset({
+    "open", "Lock", "RLock", "Condition", "Semaphore",
+    "BoundedSemaphore", "Event", "Barrier", "TraceRecorder",
+})
+
+#: (module, global name) pairs that hold *parent-process* trace handles;
+#: worker-reachable code outside the sanctioned channel module must not
+#: touch them.
+PARENT_HANDLE_GLOBALS = frozenset({
+    ("repro.obs.trace", "_ACTIVE"),
+    ("repro.obs.trace", "_RECORDERS"),
+})
+
+#: The sidecar-channel implementation itself: allowed to manage the
+#: handles it exists to isolate (``worker_recorder`` activates a private
+#: per-process segment writer precisely so nothing else ever has to).
+SANCTIONED_CHANNEL_MODULES = frozenset({"repro.obs.trace"})
+
+
+def _annotation_atoms(node: ast.expr) -> Iterable[str]:
+    """Leaf type names mentioned by an annotation expression."""
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, ast.Attribute):
+        yield node.attr
+    elif isinstance(node, ast.Constant):
+        if node.value is None:
+            yield "None"
+        elif isinstance(node.value, str):
+            # string annotation: parse and recurse
+            try:
+                parsed = ast.parse(node.value, mode="eval")
+            except SyntaxError:
+                yield node.value
+            else:
+                yield from _annotation_atoms(parsed.body)
+        elif node.value is Ellipsis:
+            pass
+        else:
+            yield repr(node.value)
+    elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        yield from _annotation_atoms(node.left)
+        yield from _annotation_atoms(node.right)
+    elif isinstance(node, ast.Subscript):
+        yield from _annotation_atoms(node.value)
+        yield from _annotation_atoms(node.slice)
+    elif isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            yield from _annotation_atoms(element)
+    elif isinstance(node, ast.Index):  # pragma: no cover - py<3.9 AST
+        yield from _annotation_atoms(node.value)
+    else:
+        yield ast.dump(node)
+
+
+def _handle_globals(module: ModuleInfo) -> dict[str, str]:
+    """Module-level names bound to live handles, with the ctor name."""
+    handles: dict[str, str] = {}
+    for name, value in module.module_globals.items():
+        if not isinstance(value, ast.Call):
+            continue
+        ctor = dotted_name(value.func)
+        if ctor is not None and ctor.rsplit(".", 1)[-1] in \
+                HANDLE_CONSTRUCTORS:
+            handles[name] = ctor
+    return handles
+
+
+class WorkerBoundaryRule(GraphRule):
+    rule_id = "RPR007"
+    description = (
+        "worker-boundary serialization safety: no lambdas/closures "
+        "submitted to backends, spec-class fields statically "
+        "pickle/JSON-safe, worker-reachable code free of ambient "
+        "file/lock/parent-TraceRecorder handles"
+    )
+
+    def check_project(self, project: ProjectGraph) -> Iterable[Violation]:
+        for name in sorted(project.modules):
+            module = project.modules[name]
+            yield from self._check_boundary_closures(module)
+            yield from self._check_spec_fields(module)
+        yield from self._check_ambient_handles(project)
+
+    # ------------------------------------------------------------------
+    # (a) lambdas / nested functions handed to dispatch calls
+    # ------------------------------------------------------------------
+    def _check_boundary_closures(
+            self, module: ModuleInfo) -> Iterable[Violation]:
+        module_level = set(module.functions)
+        for node in ast.walk(module.ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            nested = {
+                inner.name
+                for inner in ast.walk(node)
+                if isinstance(inner, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef))
+                and inner is not node
+            }
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                attr = (func.attr if isinstance(func, ast.Attribute)
+                        else func.id if isinstance(func, ast.Name)
+                        else None)
+                if attr not in BOUNDARY_CALL_ATTRS:
+                    continue
+                for arg in (*call.args,
+                            *(kw.value for kw in call.keywords)):
+                    if isinstance(arg, ast.Lambda):
+                        yield self.violation(
+                            module.ctx, arg,
+                            f"lambda passed to {attr}() cannot cross "
+                            f"the worker boundary (unpicklable, never "
+                            f"wire-serializable); hoist it to a "
+                            f"module-level function",
+                        )
+                    elif (isinstance(arg, ast.Name)
+                          and arg.id in nested
+                          and arg.id not in module_level):
+                        yield self.violation(
+                            module.ctx, arg,
+                            f"locally defined function {arg.id!r} "
+                            f"passed to {attr}() closes over its "
+                            f"enclosing frame and cannot cross the "
+                            f"worker boundary; hoist it to module "
+                            f"level and pass its state as arguments",
+                        )
+
+    # ------------------------------------------------------------------
+    # (b) spec-class field annotations
+    # ------------------------------------------------------------------
+    def _check_spec_fields(self, module: ModuleInfo) -> Iterable[Violation]:
+        if not module.ctx.in_dir("src/repro/exec/"):
+            return
+        for class_name in sorted(SPEC_CLASSES & set(module.classes)):
+            class_node = module.classes[class_name].node
+            for stmt in class_node.body:
+                if not (isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)):
+                    continue
+                bad = sorted(
+                    atom for atom in _annotation_atoms(stmt.annotation)
+                    if atom not in SERIALIZABLE_ANNOTATIONS
+                )
+                if bad:
+                    yield self.violation(
+                        module.ctx, stmt,
+                        f"{class_name}.{stmt.target.id} is annotated "
+                        f"with non-serializable type(s) "
+                        f"{', '.join(bad)}; spec fields cross the "
+                        f"worker boundary by value and must be plain "
+                        f"data or a pinned-round-trip project "
+                        f"dataclass (extend SERIALIZABLE_ANNOTATIONS "
+                        f"only with a reviewed JSON round trip)",
+                    )
+
+    # ------------------------------------------------------------------
+    # (c) ambient handles read by worker-reachable code
+    # ------------------------------------------------------------------
+    def _check_ambient_handles(
+            self, project: ProjectGraph) -> Iterable[Violation]:
+        handle_names: dict[str, dict[str, str]] = {
+            name: _handle_globals(module)
+            for name, module in project.modules.items()
+        }
+        for function_id in sorted(project.worker_reachable):
+            fn = project.functions[function_id]
+            if fn.module in SANCTIONED_CHANNEL_MODULES:
+                continue
+            if fn.qualname == MODULE_BODY:
+                continue
+            module = project.modules[fn.module]
+            own_handles = handle_names.get(fn.module, {})
+            flagged: set[str] = set()
+            for node in _function_body_nodes(fn):
+                if not isinstance(node, ast.Name):
+                    continue
+                if node.id in flagged:
+                    continue
+                origin: tuple[str, str] | None = None
+                if node.id in own_handles:
+                    origin = (own_handles[node.id], fn.module)
+                else:
+                    binding = module.symbols.get(node.id)
+                    if (binding is not None and binding[0] == "symbol"
+                            and (binding[1], binding[2])
+                            in PARENT_HANDLE_GLOBALS):
+                        origin = ("parent TraceRecorder registry",
+                                  binding[1])
+                    elif (fn.module, node.id) in PARENT_HANDLE_GLOBALS:
+                        origin = ("parent TraceRecorder registry",
+                                  fn.module)
+                if origin is None:
+                    continue
+                flagged.add(node.id)
+                kind, where = origin
+                yield self.violation(
+                    module.ctx, node,
+                    f"worker-reachable function {fn.qualname}() "
+                    f"captures ambient handle {node.id!r} "
+                    f"({kind}, module {where}): fork shares it with "
+                    f"the parent and spawn/remote workers never have "
+                    f"it; take the resource as an argument or route "
+                    f"through the worker_recorder sidecar channel",
+                )

@@ -1,0 +1,15 @@
+# repro-lint: treat-as=src/repro/sim/cycle_a.py
+"""RPR006 cycle fixture, half A: imports B at module level.
+
+Linted together with ``rpr006_cycle_b.py`` this forms a two-module
+import cycle; the single violation is anchored here (the
+alphabetically-smallest member).  Both imports are same-package, so
+the only finding is the cycle itself.
+"""
+
+# RPR006 (cycle): module-level edge into the cycle partner
+from repro.sim.cycle_b import helper_b
+
+
+def helper_a() -> int:
+    return helper_b() + 1

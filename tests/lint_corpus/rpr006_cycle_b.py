@@ -1,0 +1,17 @@
+# repro-lint: treat-as=src/repro/sim/cycle_b.py
+"""RPR006 cycle fixture, half B: imports A back at module level.
+
+The sanctioned fix — moving this import inside ``helper_b`` — is what
+``rpr006_good.py`` demonstrates; here it stays at module level so the
+Tarjan pass has a real cycle to find.
+"""
+
+from repro.sim.cycle_a import helper_a
+
+
+def helper_b() -> int:
+    return 1
+
+
+def helper_chain() -> int:
+    return helper_a()

@@ -1,0 +1,18 @@
+# repro-lint: treat-as=src/repro/circuits/goodlayer.py
+"""RPR006 negatives: a base-layer module staying in its layer.
+
+Same-package imports and the ``exceptions`` leaf are always legal for
+``circuits``; function-scoped imports of the same targets are equally
+fine (layering judges the target, not the placement).
+"""
+
+from repro.circuits.gates import Gate
+from repro.exceptions import ReproError
+
+
+def validate(gate: Gate) -> None:
+    from repro.circuits.circuit import Circuit
+
+    if not isinstance(gate, Gate):
+        raise ReproError(f"not a gate: {gate!r}")
+    del Circuit

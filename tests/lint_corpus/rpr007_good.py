@@ -1,0 +1,32 @@
+# repro-lint: treat-as=src/repro/exec/backends.py
+"""RPR007 negatives: a worker boundary that serializes cleanly.
+
+Task functions live at module level, spec fields are plain data or
+pinned project dataclasses, and the only worker-side resources are
+arguments or locals.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    seed: int = 0
+    shots: int = 0
+    label: str = ""
+    tags: tuple[str, ...] = ()
+
+
+def execute_spec(spec: JobSpec, key: str) -> tuple[str, int]:
+    results: dict[str, int] = {}
+    results[key] = spec.seed + spec.shots
+    with open(f"{key}.sidecar", "w", encoding="utf-8") as handle:
+        handle.write(str(results[key]))
+    return key, results[key]
+
+
+def submit_all(pool: ProcessPoolExecutor, specs: list) -> list:
+    return [pool.submit(execute_spec, spec, spec.label) for spec in specs]

@@ -23,11 +23,14 @@ import pytest
 
 from repro.devtools import META_RULE, all_rules, run_lint
 from repro.devtools.lint import main as lint_main
+from repro.devtools.rules import all_graph_rules
 
 REPO_ROOT = Path(__file__).parent.parent
 CORPUS = Path(__file__).parent / "lint_corpus"
 
 RULE_IDS = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
+GRAPH_RULE_IDS = ("RPR006", "RPR007", "RPR008", "RPR009")
+ALL_RULE_IDS = RULE_IDS + GRAPH_RULE_IDS
 
 #: How many findings each positive corpus file must produce for its rule.
 EXPECTED_BAD_COUNTS = {
@@ -36,6 +39,10 @@ EXPECTED_BAD_COUNTS = {
     "RPR003": 1,   # one drift finding naming every changed field
     "RPR004": 2,   # orphaned construction + function-nested register
     "RPR005": 3,   # bare except + silent Exception + silent BaseException
+    "RPR006": 4,   # imports of exec, analysis, obs, devtools from circuits
+    "RPR007": 2 + 2 + 2,  # bad spec fields + ambient handles + closures
+    "RPR008": 4,   # item write, .append, global rebind, transitive .update
+    "RPR009": 4,   # module-level rng + constant + ambient + const-derived
 }
 
 
@@ -44,27 +51,56 @@ def lint_one(name: str, **kwargs):
 
 
 class TestCorpus:
-    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    @pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
     def test_positive_corpus_fires(self, rule_id):
-        report = lint_one(f"{rule_id.lower()}_bad.py", select=[rule_id])
+        report = lint_one(f"{rule_id.lower()}_bad.py", select=[rule_id],
+                          graph=True)
         fired = [v for v in report.active if v.rule == rule_id]
         assert len(fired) == EXPECTED_BAD_COUNTS[rule_id], [
             v.format() for v in report.active
         ]
         assert report.exit_code == 1
 
-    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    @pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
     def test_negative_corpus_is_clean(self, rule_id):
-        report = lint_one(f"{rule_id.lower()}_good.py", select=[rule_id])
+        report = lint_one(f"{rule_id.lower()}_good.py", select=[rule_id],
+                          graph=True)
         assert report.active == [], [v.format() for v in report.active]
         assert report.exit_code == 0
 
-    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    @pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
     def test_positive_corpus_clean_under_all_other_rules(self, rule_id):
         """Each bad file violates *only* its own rule (corpus hygiene)."""
         report = lint_one(f"{rule_id.lower()}_bad.py",
-                          ignore=[rule_id])
+                          ignore=[rule_id], graph=True)
         assert report.active == [], [v.format() for v in report.active]
+
+    def test_import_cycle_fixture_fires_once(self):
+        """The two cycle halves linted together yield one RPR006
+        finding, anchored at the alphabetically-smallest member."""
+        report = run_lint(
+            [CORPUS / "rpr006_cycle_a.py", CORPUS / "rpr006_cycle_b.py"],
+            graph=True,
+        )
+        assert [v.rule for v in report.active] == ["RPR006"]
+        finding = report.active[0]
+        assert finding.path.endswith("rpr006_cycle_a.py")
+        assert "repro.sim.cycle_a -> repro.sim.cycle_b" in finding.message
+
+    def test_cycle_halves_alone_are_clean(self):
+        """Half a cycle is just an unresolved import — no finding."""
+        for name in ("rpr006_cycle_a.py", "rpr006_cycle_b.py"):
+            report = lint_one(name, graph=True)
+            assert report.active == [], [
+                v.format() for v in report.active
+            ]
+
+    def test_graph_rules_silent_without_graph_flag(self):
+        """``run_lint`` without ``graph=True`` keeps RPR006-RPR009 off —
+        per-file linting of a graph-bad file stays green."""
+        report = lint_one("rpr006_bad.py")
+        assert report.active == []
+        assert set(report.rules) == set(RULE_IDS)
 
     def test_obs_wall_clock_carve_out_is_clean(self):
         """time.time()/time_ns() inside src/repro/obs/ is allowlisted."""
@@ -165,6 +201,41 @@ class TestEngine:
         rules = all_rules()
         assert tuple(rule.rule_id for rule in rules) == RULE_IDS
         assert all(rule.description for rule in rules)
+        graph_rules = all_graph_rules()
+        assert tuple(r.rule_id for r in graph_rules) == GRAPH_RULE_IDS
+        assert all(r.description for r in graph_rules)
+        assert all(getattr(r, "requires_graph", False)
+                   for r in graph_rules)
+
+    def test_graph_suppressions_route_through_anchor_file(self, tmp_path):
+        """A graph finding honours the disable directive of the file it
+        is anchored in, with the justification carried through."""
+        victim = tmp_path / "layered.py"
+        victim.write_text(
+            "# repro-lint: treat-as=src/repro/circuits/x.py\n"
+            "# repro-lint: disable=RPR006 -- transitional import, "
+            "tracked for removal\n"
+            "from repro.exec.backends import resolve_backend\n",
+            encoding="utf-8",
+        )
+        report = run_lint([victim], root=REPO_ROOT, graph=True)
+        assert report.active == [], [v.format() for v in report.active]
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].rule == "RPR006"
+        assert "transitional" in report.suppressed[0].justification
+
+    def test_report_profile_fields(self):
+        report = lint_one("rpr006_bad.py", graph=True)
+        assert set(report.rules) == set(ALL_RULE_IDS)
+        assert "graph_build" in report.rule_seconds
+        for rule_id in ALL_RULE_IDS:
+            assert report.rule_seconds[rule_id] >= 0.0
+        counts = report.file_counts
+        assert len(counts) == 1
+        (path, entry), = counts.items()
+        assert path.endswith("rpr006_bad.py")
+        assert entry == {"active": EXPECTED_BAD_COUNTS["RPR006"],
+                         "suppressed": 0}
 
 
 class TestCli:
@@ -174,12 +245,27 @@ class TestCli:
                           "--json", str(out), "--quiet"])
         assert code == 1
         payload = json.loads(out.read_text(encoding="utf-8"))
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["files_scanned"] == 1
         assert payload["active"] == EXPECTED_BAD_COUNTS["RPR005"]
         assert {v["rule"] for v in payload["violations"]} == {"RPR005"}
         assert {"rule", "path", "line", "col", "message", "suppressed",
                 "justification"} <= set(payload["violations"][0])
+        profile = payload["profile"]
+        assert set(profile) == {"rule_seconds", "files"}
+        assert set(profile["rule_seconds"]) == set(RULE_IDS)
+        (path, entry), = profile["files"].items()
+        assert path.endswith("rpr005_bad.py")
+        assert entry == {"active": EXPECTED_BAD_COUNTS["RPR005"],
+                         "suppressed": 0}
+
+    @staticmethod
+    def _scrubbed(path):
+        """The report minus its wall-time values (the one
+        run-dependent part of the artifact)."""
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        timed = payload["profile"].pop("rule_seconds")
+        return payload, set(timed)
 
     def test_json_report_is_deterministic(self, tmp_path):
         first, second = tmp_path / "a.json", tmp_path / "b.json"
@@ -187,12 +273,32 @@ class TestCli:
                    "--quiet"])
         lint_main([str(CORPUS / "rpr001_bad.py"), "--json", str(second),
                    "--quiet"])
+        payload_a, timed_a = self._scrubbed(first)
+        payload_b, timed_b = self._scrubbed(second)
+        assert payload_a == payload_b
+        assert timed_a == timed_b == set(RULE_IDS)
+
+    def test_graph_json_artifact_is_deterministic(self, tmp_path):
+        """Two ``--graph-json`` runs over the same file agree byte for
+        byte (no timings in the graph artifact at all)."""
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        target = str(CORPUS / "rpr007_good.py")
+        assert lint_main([target, "--graph-json", str(first),
+                          "--quiet"]) == 0
+        assert lint_main([target, "--graph-json", str(second),
+                          "--quiet"]) == 0
         assert first.read_bytes() == second.read_bytes()
+        graph = json.loads(first.read_text(encoding="utf-8"))
+        assert set(graph) == {"version", "modules", "import_graph",
+                              "import_cycles", "call_graph",
+                              "worker_roots", "worker_reachable"}
+        assert ("repro.exec.backends.execute_spec"
+                in graph["worker_reachable"])
 
     def test_list_rules_exits_zero(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in (META_RULE, *RULE_IDS):
+        for rule_id in (META_RULE, *ALL_RULE_IDS):
             assert rule_id in out
 
     def test_usage_error_exit_code(self):
@@ -213,10 +319,11 @@ class TestCli:
 
 class TestSelfGate:
     def test_repo_tree_is_lint_clean(self):
-        """The blocking CI check: the repo satisfies its own invariants."""
+        """The blocking CI check: the repo satisfies its own invariants,
+        including the whole-program RPR006-RPR009 pass."""
         report = run_lint([REPO_ROOT / "src", REPO_ROOT / "tests",
                            REPO_ROOT / "benchmarks",
-                           REPO_ROOT / "examples"])
+                           REPO_ROOT / "examples"], graph=True)
         assert report.active == [], "\n".join(
             v.format() for v in report.active
         )
@@ -224,3 +331,5 @@ class TestSelfGate:
         # suppressions; anything beyond them deserves a fresh look
         assert len(report.suppressed) == 4
         assert all(v.justification for v in report.suppressed)
+        assert report.graph is not None
+        assert report.graph.import_cycles() == []
