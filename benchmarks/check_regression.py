@@ -15,9 +15,10 @@ tracked hot paths are the ones the ROADMAP's perf work landed on:
 * ``stochastic_shots``  — Monte-Carlo sampling throughput
   (``bench_stochastic.py::test_serial_shots_per_second`` and the
   correlated-scenario variant in ``bench_scenarios.py``);
-* ``obs_overhead``      — the engine batch with tracing off and on
+* ``obs_overhead``      — the engine batch with tracing off, on, with a
+  live progress monitor attached, and with per-job profiling on
   (``bench_obs.py``): instrumentation must stay near-free when off and
-  cheap when on;
+  cheap at every opt-in level;
 * ``lint`` / ``lint_graph`` — the blocking CI lint step, per-file and
   with the whole-program ``--graph`` pass
   (``bench_lint.py::test_lint_whole_repo`` /
@@ -72,6 +73,10 @@ TRACKED_PATTERNS: tuple[tuple[str, str], ...] = (
      r"bench_obs\.py::test_untraced_engine_batch"),
     ("obs_overhead",
      r"bench_obs\.py::test_traced_engine_batch"),
+    ("obs_overhead",
+     r"bench_obs\.py::test_monitored_engine_batch"),
+    ("obs_overhead",
+     r"bench_obs\.py::test_profiled_engine_batch"),
 )
 
 #: Fail when a tracked (normalised) slowdown exceeds this factor.
@@ -210,6 +215,58 @@ def check(current: dict[str, float], baseline: dict[str, float], *,
     return ok, lines
 
 
+def _tracked_ratios(current: dict[str, float], baseline: dict[str, float],
+                    *, normalize: bool = True) -> dict[str, float]:
+    """Machine-normalised ``tracked fullname -> ratio`` (mirrors check)."""
+    shared = sorted(set(current) & set(baseline))
+    ratios = {name: current[name] / baseline[name] for name in shared
+              if baseline[name] > 0}
+    if not ratios:
+        return {}
+    scale = statistics.median(ratios.values()) if normalize else 1.0
+    return {name: ratios[name] / scale for name in ratios
+            if tracked_group(name) is not None}
+
+
+def append_history(ledger_path: str, *, bench_json: str,
+                   current: dict[str, float], baseline: dict[str, float],
+                   ok: bool, threshold: float, normalize: bool) -> str:
+    """Append this gate run as one ``bench.gate`` run-ledger record.
+
+    CI calls this script without ``PYTHONPATH=src``, so the repo's
+    ``src`` tree is bootstrapped onto ``sys.path`` here before the
+    :mod:`repro.obs.history` import.  Machine-normalised ratios (not
+    raw medians) are recorded: they are the one number comparable
+    across the heterogeneous CI fleet, so the ledger's trend tables
+    and ``--check`` gate stay meaningful run over run.
+    """
+    src = os.path.join(os.path.dirname(_HERE), "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.obs.history import RunLedger, new_record
+
+    normalised = _tracked_ratios(current, baseline, normalize=normalize)
+    groups: dict[str, list[float]] = {}
+    for name, ratio in normalised.items():
+        groups.setdefault(tracked_group(name), []).append(ratio)
+    record = new_record(
+        "bench.gate",
+        label=os.path.basename(bench_json),
+        metrics={f"normalised.{group}": max(ratios)
+                 for group, ratios in sorted(groups.items())},
+        extra={"ok": 1 if ok else 0, "threshold": threshold,
+               "normalize": 1 if normalize else 0,
+               "shared": len(set(current) & set(baseline)),
+               "python": platform.python_version()},
+    )
+    ledger = RunLedger(ledger_path)
+    record_id = ledger.append(record)
+    # one writer per gate run: fold the sidecar segment straight into
+    # the main file so the CI artifact is a single JSONL
+    ledger.compact()
+    return record_id
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter,
@@ -226,6 +283,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="compare raw medians (same-machine A/B only)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from bench_json and exit")
+    parser.add_argument("--append-history", metavar="LEDGER",
+                        help="append this gate run (normalised tracked "
+                             "ratios + verdict) to a repro.obs.history "
+                             "run ledger")
     args = parser.parse_args(argv)
 
     current = load_medians(args.bench_json)
@@ -264,6 +325,14 @@ def main(argv: list[str] | None = None) -> int:
             "the code; re-baseline on the gating version"
         ))
     print("\n".join(lines))
+    if args.append_history:
+        record_id = append_history(
+            args.append_history, bench_json=args.bench_json,
+            current=current, baseline=baseline, ok=ok,
+            threshold=threshold, normalize=not args.no_normalize,
+        )
+        print(f"gate run appended to {args.append_history} "
+              f"(record {record_id})")
     return 0 if ok else 1
 
 

@@ -65,11 +65,15 @@ MUTATOR_METHODS = frozenset({
 })
 
 #: (module, global) pairs that ARE the sanctioned cross-process
-#: channels: the trace-recorder registries behind ``worker_recorder``.
+#: channels: the trace-recorder registries behind ``worker_recorder``,
+#: and the per-process profiling-mode cache (read-mostly memo of an
+#: environment variable — each worker caching its own parse is the
+#: intended behaviour, not a divergence hazard).
 SANCTIONED_GLOBAL_WRITES = frozenset({
     ("repro.obs.trace", "_ACTIVE"),
     ("repro.obs.trace", "_RECORDERS"),
     ("repro.obs.trace", "_WORKER_RECORDERS"),
+    ("repro.obs.profile", "_MODE_CACHE"),
 })
 
 

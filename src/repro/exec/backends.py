@@ -46,6 +46,7 @@ from repro.exceptions import ReproError
 from repro.exec.jobs import JobResult, JobSpec, spec_key
 from repro.noise.parameters import NoiseParameters
 from repro.noise.scenarios import get_scenario
+from repro.obs.profile import start_job_profile
 from repro.obs.trace import activate, current_trace, worker_recorder
 from repro.sim.ideal_sim import IdealSimulator
 from repro.sim.qccd_sim import QccdSimulator
@@ -103,10 +104,16 @@ def execute_spec(spec: JobSpec, key: str | None = None) -> JobResult:
     # spec key so the offline report can re-parent cross-process spans
     # under the batch that dispatched them.  A NullRecorder makes all of
     # this a no-op; tracing never touches the result.
-    span = current_trace().span(
+    recorder = current_trace()
+    span = recorder.span(
         "job.execute", spec_key=key, backend=spec.backend,
         shots=spec.shots, label=spec.label,
     )
+    # Opt-in resource profiling (TILT_REPRO_PROFILE): deltas captured
+    # around the work land as span attrs, so worker-side profiles ride
+    # the same sidecar segments the spans already use.  Only started
+    # when tracing is on — without a span there is nowhere to put it.
+    profiler = start_job_profile() if recorder.enabled else None
     start = time.perf_counter()
     stats = None
     simulation = None
@@ -157,6 +164,8 @@ def execute_spec(spec: JobSpec, key: str | None = None) -> JobResult:
                     )
         else:  # pragma: no cover - validated by JobSpec.__post_init__
             raise ReproError(f"unknown backend {spec.backend!r}")
+        if profiler is not None:
+            span.add(profile=profiler.finish())
     wall_time = time.perf_counter() - start
     return JobResult(
         key=key,

@@ -49,7 +49,9 @@ from repro.exec.backends import (
 )
 from repro.exec.cache import ResultCache
 from repro.exec.jobs import JobResult, JobSpec, spec_key
-from repro.exec.store import RunStore
+from repro.exec.store import RunStore, collect_provenance
+from repro.obs.history import RunLedger, new_record, resolve_ledger
+from repro.obs.live import auto_attach
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NullRecorder, TraceRecorder, activate, resolve_trace
 
@@ -130,6 +132,12 @@ class EngineStats:
         ``jobs_executed`` and the ``engine.job_time_s`` histogram.
         """
         return self._job_times.tail
+
+    def job_time_summary(self) -> dict[str, float]:
+        """The job-time histogram as plain JSON (count/sum/moments +
+        p50/p90/p99 over the recent tail) — what history records carry
+        as their ``latency`` section."""
+        return self._job_times.to_json()
 
     def record_job(self, result: JobResult) -> None:
         """Fold one executed job into the counters and timing histogram."""
@@ -220,6 +228,14 @@ class ExecutionEngine:
         ``None`` — which consults the ``TILT_REPRO_TRACE`` environment
         variable and leaves tracing off when it is unset.  Tracing only
         *observes*: results are bit-identical with it on or off.
+    history:
+        Opt-in cross-run telemetry: a
+        :class:`~repro.obs.history.RunLedger`, a path for one, or
+        ``None`` — which consults the ``TILT_REPRO_HISTORY`` environment
+        variable.  When on, every batch appends one summarized record
+        (metrics snapshot, backend config, cache ratios, latency
+        quantiles, provenance, trace path) to the ledger that
+        ``python -m repro.obs.history`` analyses across runs.
     """
 
     def __init__(self, *, workers: int | None = 1,
@@ -229,9 +245,16 @@ class ExecutionEngine:
                  backend: str | Backend | None = None,
                  progress: ProgressCallback | None = None,
                  trace: TraceRecorder | NullRecorder | str
-                        | os.PathLike[str] | None = None) -> None:
+                        | os.PathLike[str] | None = None,
+                 history: RunLedger | str
+                          | os.PathLike[str] | None = None) -> None:
         self.workers = resolve_workers(workers)
         self.trace = resolve_trace(trace)
+        # env-driven live monitoring (heartbeat JSONL / stderr line)
+        # piggybacks on the trace stream; off unless asked for
+        self.monitor = auto_attach(self.trace)
+        self.history = resolve_ledger(history)
+        self._history_provenance: dict[str, object] | None = None
         if store is not None:
             if cache is not None or cache_path is not None:
                 raise ReproError(
@@ -271,6 +294,43 @@ class ExecutionEngine:
         if describe_config is None:  # a minimal third-party Backend
             return {"backend": getattr(resolved, "name", "unknown")}
         return describe_config()
+
+    def append_history(self, kind: str, *, label: str | None = None,
+                       metrics: dict[str, object] | None = None,
+                       cache: dict[str, object] | None = None,
+                       extra: dict[str, object] | None = None,
+                       workers: int | None = None) -> str | None:
+        """Append one summarized record to the run ledger (if one is on).
+
+        Fills in what only the engine knows — backend configuration,
+        latency quantiles from the job-time histogram, cached git/seed
+        provenance and the trace path — so callers (the engine's own
+        batch loop, :func:`repro.search.runner.run_search`) only supply
+        their ``kind`` and driver-specific sections.  Returns the record
+        id, or ``None`` when history recording is off (the near-free
+        path: one attribute check).
+        """
+        if self.history is None:
+            return None
+        if self._history_provenance is None:
+            # collected once per engine: git subprocess calls are not
+            # per-batch money
+            self._history_provenance = collect_provenance(
+                trace=self.trace.path if self.trace.enabled else None,
+            )
+        record = new_record(
+            kind,
+            label=label,
+            metrics=(metrics if metrics is not None
+                     else self.stats.metrics.snapshot()),
+            backend=self.describe_backend_config(workers),
+            cache=cache,
+            latency=self.stats.job_time_summary(),
+            provenance=self._history_provenance,
+            trace=self.trace.path if self.trace.enabled else None,
+            extra=extra,
+        )
+        return self.history.append(record)
 
     # ------------------------------------------------------------------
     # Public API
@@ -371,6 +431,21 @@ class ExecutionEngine:
                                execution_time_s=batch_exec_time)
                 trace.metrics(self.stats.metrics.snapshot())
                 trace.merge_segments()
+        if self.history is not None:
+            jobs = len(specs)
+            self.append_history(
+                "engine.batch",
+                cache={
+                    "jobs": jobs,
+                    "cache_hits": batch_hits,
+                    "deduplicated": batch_dupes,
+                    "executed": batch_executed,
+                    "hit_ratio": batch_hits / jobs if jobs else 0.0,
+                },
+                extra={"execution_time_s": batch_exec_time,
+                       "workers": batch_workers},
+                workers=batch_workers,
+            )
         assert all(result is not None for result in results)
         return [result for result in results if result is not None]
 

@@ -96,6 +96,14 @@ def run_sampled_job(spec: JobSpec, *, shards: int | None = None,
         else:
             shards = chosen.workers
     shard_specs = shard_sampling_spec(spec, shards)
+    # Announce the plan *before* executing it: live monitors subscribed
+    # to the trace stream (repro.obs.live) see the fan-out size the
+    # moment it is decided, not when the first shard finishes.
+    if chosen.trace.enabled:
+        chosen.trace.event(
+            "sampling.planned", spec_key=spec_key(spec), label=spec.label,
+            shots=spec.shots, shards=len(shard_specs),
+        )
     # Span on the chosen engine's recorder (same thread), so the batch
     # the shards run as nests under this fan-out in the trace; per-shard
     # timing comes from each shard's own job.execute span.

@@ -153,6 +153,7 @@ class Histogram:
             "max": hi if count else 0.0,
             "p50": self.quantile(0.50),
             "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -1,0 +1,173 @@
+"""Opt-in per-job resource profiling attached to ``job.execute`` spans.
+
+Set ``TILT_REPRO_PROFILE=1`` (CPU mode) or
+``TILT_REPRO_PROFILE=tracemalloc`` (CPU + Python allocation tracking)
+and every *traced* executed job carries a ``profile`` attribute on its
+``job.execute`` span:
+
+* ``cpu_user_s`` / ``cpu_system_s`` — process CPU-time deltas from
+  :func:`os.times` across the job;
+* ``max_rss_kb`` plus minor/major page-fault deltas — from
+  :func:`resource.getrusage` where the :mod:`resource` module exists
+  (POSIX; the field is simply absent elsewhere);
+* in ``tracemalloc`` mode additionally the Python-heap size/peak and
+  the top :data:`TOP_ALLOCATIONS` allocation sites grown during the job
+  (``file:lineno`` with size/count deltas).
+
+The capture rides the existing trace machinery end to end: in pool
+workers the span (profile attrs included) lands in the worker's private
+sidecar segment and is merged into the parent trace after the batch —
+profiling needs no channel of its own.  ``python -m repro.obs.report``
+renders the collected profiles as a per-backend resource table.
+
+Profiling is pure observation: it reads process accounting state and
+never touches job inputs or results (bit-identity of profiled vs plain
+runs is pinned by ``tests/test_obs.py``).  Like the rest of
+``repro.obs`` it is wall-clock-legal under RPR001, and its single piece
+of process-wide state — the parsed mode cache below — is a sanctioned
+RPR008 channel: the cached value is derived from the environment, which
+``fork``/``spawn`` workers inherit identically, so the copy each worker
+caches agrees with the parent's by construction.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tracemalloc
+from typing import Any
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    resource = None  # type: ignore[assignment]
+
+__all__ = [
+    "PROFILE_ENV_VAR",
+    "JobProfiler",
+    "profile_enabled",
+    "refresh_mode",
+    "resolve_mode",
+    "start_job_profile",
+]
+
+#: Environment variable selecting the profiling mode for executed jobs.
+PROFILE_ENV_VAR = "TILT_REPRO_PROFILE"
+
+#: Allocation-site rows kept per job in ``tracemalloc`` mode.
+TOP_ALLOCATIONS = 3
+
+#: Env values that leave profiling off / select each mode.
+_OFF_VALUES = frozenset({"", "0", "off", "false", "no"})
+_TRACEMALLOC_VALUES = frozenset({"tracemalloc", "alloc", "full"})
+
+#: The parsed profiling mode, cached once per process (RPR008 sanctioned
+#: channel ``repro.obs.profile._MODE_CACHE``): workers inherit the same
+#: environment, so every process resolves — and caches — the same mode.
+_MODE_CACHE: dict[str, Any] = {}
+
+
+def resolve_mode() -> str | None:
+    """The active profiling mode: ``None`` (off), ``"cpu"``, or
+    ``"tracemalloc"``.
+
+    Parsed from :data:`PROFILE_ENV_VAR` once per process; any value not
+    naming the tracemalloc mode enables plain CPU/RSS capture, so
+    ``TILT_REPRO_PROFILE=1`` is the common switch.
+    """
+    if "mode" not in _MODE_CACHE:
+        raw = os.environ.get(PROFILE_ENV_VAR, "").strip().lower()
+        if raw in _OFF_VALUES:
+            mode = None
+        elif raw in _TRACEMALLOC_VALUES:
+            mode = "tracemalloc"
+        else:
+            mode = "cpu"
+        _MODE_CACHE["mode"] = mode
+    return _MODE_CACHE["mode"]
+
+
+def refresh_mode() -> str | None:
+    """Drop the cached mode and re-read the environment (for tests and
+    benchmarks toggling :data:`PROFILE_ENV_VAR` mid-process)."""
+    _MODE_CACHE.clear()
+    return resolve_mode()
+
+
+def profile_enabled() -> bool:
+    return resolve_mode() is not None
+
+
+def _rss_kb(ru_maxrss: int) -> int:
+    """``ru_maxrss`` in KiB (Linux reports KiB, macOS reports bytes)."""
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        return int(ru_maxrss / 1024)
+    return int(ru_maxrss)
+
+
+class JobProfiler:
+    """Capture resource deltas across one job.
+
+    Construct before the work, call :meth:`finish` after; the returned
+    dict is what lands in ``span.attrs["profile"]``.  Construction in
+    ``tracemalloc`` mode starts the interpreter-wide tracer if it is not
+    already running and leaves it running (per-process; stopping it
+    between jobs would discard the bookkeeping repeated jobs reuse).
+    """
+
+    __slots__ = ("mode", "_times", "_rusage", "_snapshot")
+
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+        self._snapshot = None
+        if mode == "tracemalloc":
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+            if hasattr(tracemalloc, "reset_peak"):
+                tracemalloc.reset_peak()
+            self._snapshot = tracemalloc.take_snapshot()
+        self._rusage = (resource.getrusage(resource.RUSAGE_SELF)
+                        if resource is not None else None)
+        self._times = os.times()
+
+    def finish(self) -> dict[str, Any]:
+        times = os.times()
+        payload: dict[str, Any] = {
+            "mode": self.mode,
+            "cpu_user_s": times.user - self._times.user,
+            "cpu_system_s": times.system - self._times.system,
+        }
+        if resource is not None and self._rusage is not None:
+            usage = resource.getrusage(resource.RUSAGE_SELF)
+            payload["max_rss_kb"] = _rss_kb(usage.ru_maxrss)
+            payload["minor_faults"] = usage.ru_minflt - self._rusage.ru_minflt
+            payload["major_faults"] = usage.ru_majflt - self._rusage.ru_majflt
+        if self._snapshot is not None:
+            size, peak = tracemalloc.get_traced_memory()
+            payload["py_heap_kb"] = round(size / 1024, 1)
+            payload["py_peak_kb"] = round(peak / 1024, 1)
+            after = tracemalloc.take_snapshot()
+            stats = after.compare_to(self._snapshot, "lineno")
+            payload["allocations"] = [
+                {
+                    "site": (f"{os.path.basename(stat.traceback[0].filename)}"
+                             f":{stat.traceback[0].lineno}"),
+                    "size_kb": round(stat.size_diff / 1024, 1),
+                    "count": stat.count_diff,
+                }
+                for stat in stats[:TOP_ALLOCATIONS]
+            ]
+        return payload
+
+
+def start_job_profile() -> JobProfiler | None:
+    """A :class:`JobProfiler` when profiling is on, else ``None``.
+
+    The off path is one cached-dict lookup — cheap enough for
+    :func:`~repro.exec.backends.execute_spec` to call unconditionally
+    on every traced job.
+    """
+    mode = resolve_mode()
+    if mode is None:
+        return None
+    return JobProfiler(mode)

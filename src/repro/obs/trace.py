@@ -156,6 +156,12 @@ class NullRecorder:
     def metrics(self, snapshot: dict[str, Any]) -> None:
         pass
 
+    def subscribe(self, listener) -> None:
+        pass
+
+    def unsubscribe(self, listener) -> None:
+        pass
+
     def merge_segments(self) -> int:
         return 0
 
@@ -189,6 +195,7 @@ class TraceRecorder:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._counter = itertools.count()
+        self._listeners: tuple = ()
         self._write({
             "v": TRACE_VERSION,
             "kind": "meta",
@@ -219,6 +226,36 @@ class TraceRecorder:
         with self._lock:
             with open(self._path, "a", encoding="utf-8") as handle:
                 handle.write(line + "\n")
+        # Notify subscribers (live monitors) after the file append and
+        # outside the lock.  The listener tuple is copy-on-write, so
+        # iterating a stale snapshot is safe; listeners receive the
+        # record dict by reference and must treat it as read-only.
+        for listener in self._listeners:
+            try:
+                listener(record)
+            except Exception:
+                # Telemetry observers must never break the traced run; a
+                # broken monitor loses its own heartbeats, nothing else.
+                pass
+
+    def subscribe(self, listener) -> None:
+        """Register *listener* to receive every record as it is written.
+
+        Listeners are called synchronously from the writing thread with
+        the record dict (after the file append); they must be fast,
+        must not mutate the record, and exceptions they raise are
+        swallowed — observation can never fail the observed run.
+        """
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners = (*self._listeners, listener)
+
+    def unsubscribe(self, listener) -> None:
+        """Remove *listener* (a no-op when it was never subscribed)."""
+        with self._lock:
+            self._listeners = tuple(
+                entry for entry in self._listeners if entry != listener
+            )
 
     def span(self, name: str, **attrs: Any) -> Span:
         """A new span context manager (recorded when it exits)."""
@@ -324,6 +361,7 @@ class _WorkerRecorder(TraceRecorder):
         self._lock = threading.Lock()
         self._local = threading.local()
         self._counter = itertools.count()
+        self._listeners: tuple = ()  # monitors live in the parent only
 
 
 # ----------------------------------------------------------------------

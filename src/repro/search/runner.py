@@ -257,7 +257,7 @@ def run_search(space: SearchSpace, strategy: SearchStrategy, *,
         points, rungs = strategy.run(space, evaluate)
         search_span.add(rounds=rounds)
     points = sorted(points, key=lambda point: point.candidate)
-    return SearchResult(
+    result = SearchResult(
         strategy=strategy.name,
         knobs=space.knob_labels(),
         points=points,
@@ -266,3 +266,16 @@ def run_search(space: SearchSpace, strategy: SearchStrategy, *,
         engine_stats=_stats_delta(before, chosen.stats.to_dict()),
         manifest=write_manifest("complete"),
     )
+    # One cross-run history record per search (TILT_REPRO_HISTORY /
+    # ExecutionEngine(history=)): the engine fills in backend config,
+    # latency quantiles and provenance; we supply the search's shape.
+    chosen.append_history(
+        "search.run",
+        label=strategy.name,
+        metrics=result.engine_stats,
+        extra={"strategy": strategy.name, "rounds": rounds,
+               "jobs_submitted": submitted, "points": len(points),
+               "shots": space.shots, "durable": run_store is not None},
+        workers=workers,
+    )
+    return result

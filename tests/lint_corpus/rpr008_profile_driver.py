@@ -1,0 +1,18 @@
+# repro-lint: treat-as=src/repro/exec/backends.py
+"""RPR008 sanctioned-channel half: the worker root.
+
+Impersonates ``repro.exec.backends`` so ``execute_spec`` is a worker
+root; its call into :func:`repro.obs.profile.resolve_mode` (defined in
+``rpr008_profile_channel.py``, linted together with this file) makes
+the profile module's mode cache worker-reachable — the cross-module
+shape the real profiling hook has.
+"""
+
+from __future__ import annotations
+
+from repro.obs.profile import resolve_mode
+
+
+def execute_spec(spec: object, key: str) -> dict[str, object]:
+    mode = resolve_mode()
+    return {key: spec, "profile_mode": mode}

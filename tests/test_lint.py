@@ -118,6 +118,31 @@ class TestCorpus:
         assert any("module-global" in message for message in messages)
         assert report.exit_code == 1
 
+    def test_new_obs_modules_covered_by_carve_out(self):
+        """The PR-9 observability modules (history ledger, heartbeats)
+        stamp wall-clock times and must stay RPR001-clean under the
+        ``src/repro/obs/`` prefix carve-out."""
+        report = lint_one("rpr001_obs_history_good.py", select=["RPR001"])
+        assert report.active == [], [v.format() for v in report.active]
+        assert report.exit_code == 0
+
+    def test_profile_mode_cache_is_sanctioned_channel(self):
+        """``repro.obs.profile._MODE_CACHE`` is a sanctioned RPR008
+        worker-reachable global — and the sanction is exact: an
+        unsanctioned global one line away in the same module still
+        fires."""
+        report = run_lint(
+            [CORPUS / "rpr008_profile_driver.py",
+             CORPUS / "rpr008_profile_channel.py"],
+            graph=True,
+        )
+        assert [v.rule for v in report.active] == ["RPR008"], [
+            v.format() for v in report.active
+        ]
+        finding = report.active[0]
+        assert "_LEAK" in finding.message
+        assert "_MODE_CACHE" not in finding.message
+
 
 class TestSuppressions:
     def test_justified_suppression_passes(self):

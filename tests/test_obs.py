@@ -40,6 +40,8 @@ from repro.exec.engine import EngineStats
 from repro.exec.sampling import run_sampled_job
 from repro.exec.store import RunManifest, RunStore, collect_provenance
 from repro.noise.parameters import NoiseParameters
+from repro.obs import profile as obs_profile
+from repro.obs.live import ProgressMonitor
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import format_diff, format_report, load_trace
 from repro.obs.trace import (
@@ -130,7 +132,11 @@ class TestMetrics:
         assert payload["count"] == 100
         assert payload["max"] == 99.0
         assert set(payload) == {"count", "sum", "mean", "min", "max",
-                                "p50", "p90"}
+                                "p50", "p90", "p99"}
+        # quantiles are tail-window ranks: p99 of the 8-value tail is
+        # its maximum, p50 its lower median
+        assert payload["p99"] == 99.0
+        assert payload["p50"] == hist.quantile(0.5)
 
     def test_registry_get_or_create_and_kind_clash(self):
         registry = MetricsRegistry()
@@ -304,14 +310,31 @@ class TestTracedEngine:
 
     @pytest.mark.parametrize("backend", ["serial", "process", "async"])
     def test_traced_and_untraced_results_are_bit_identical(
-            self, backend, tmp_path):
+            self, backend, tmp_path, monkeypatch):
         specs = _small_batch()
         plain = ExecutionEngine(workers=2, backend=backend).run(specs)
         traced = ExecutionEngine(
             workers=2, backend=backend, trace=tmp_path / "t.jsonl",
         ).run(specs)
+        # full instrumentation — live monitor, per-job profiling and a
+        # history ledger — must stay pure observation too
+        monkeypatch.setenv(obs_profile.PROFILE_ENV_VAR, "1")
+        obs_profile.refresh_mode()
+        try:
+            trace = TraceRecorder(tmp_path / "m.jsonl")
+            ProgressMonitor(
+                trace, heartbeat_path=tmp_path / "hb.jsonl",
+            ).attach()
+            monitored = ExecutionEngine(
+                workers=2, backend=backend, trace=trace,
+                history=tmp_path / "history.jsonl",
+            ).run(specs)
+        finally:
+            monkeypatch.delenv(obs_profile.PROFILE_ENV_VAR, raising=False)
+            obs_profile.refresh_mode()
         assert ([_structural(r) for r in plain]
-                == [_structural(r) for r in traced])
+                == [_structural(r) for r in traced]
+                == [_structural(r) for r in monitored])
 
     def test_sampling_fanout_span_wraps_the_shard_batch(self, tmp_path):
         path = tmp_path / "t.jsonl"
@@ -419,17 +442,37 @@ class TestReport:
         assert "Span tree" in completed.stdout
         assert "Per-backend latency" in completed.stdout
 
-    def test_cli_rejects_empty_trace(self, tmp_path):
-        empty = tmp_path / "empty.jsonl"
-        empty.write_text("", encoding="utf-8")
+    @pytest.mark.parametrize("content", [
+        "",                                  # crashed before first flush
+        '{"v": 1, "kind": "span", "na',      # single torn line
+    ], ids=["empty", "torn-only"])
+    def test_cli_handles_recordless_trace_cleanly(self, tmp_path, content):
+        """An existing but empty (or all-torn) trace is a calm exit 0:
+        CI pipelines render the report unconditionally and a run that
+        died before its first flush must not go red twice."""
+        recordless = tmp_path / "empty.jsonl"
+        recordless.write_text(content, encoding="utf-8")
         completed = subprocess.run(
-            (sys.executable, "-m", "repro.obs.report", str(empty)),
+            (sys.executable, "-m", "repro.obs.report", str(recordless)),
+            capture_output=True, text=True, timeout=60,
+            cwd=REPO_ROOT,
+            env={**os.environ,
+                 "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "no trace records" in completed.stdout
+
+    def test_cli_rejects_missing_trace_file(self, tmp_path):
+        completed = subprocess.run(
+            (sys.executable, "-m", "repro.obs.report",
+             str(tmp_path / "never_written.jsonl")),
             capture_output=True, text=True, timeout=60,
             cwd=REPO_ROOT,
             env={**os.environ,
                  "PYTHONPATH": str(REPO_ROOT / "src")},
         )
         assert completed.returncode == 1
+        assert "no such trace file" in completed.stderr
 
     def test_report_on_a_real_traced_run(self, tmp_path):
         """A live end-to-end check: trace a run, render its report."""

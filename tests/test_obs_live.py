@@ -1,0 +1,320 @@
+"""Tests for repro.obs.live and repro.obs.profile.
+
+The live plane: a :class:`ProgressMonitor` subscribed to the trace
+stream must derive planned/completed, throughput/ETA, rolling cache-hit
+ratio and straggler alerts from the records the engine already emits,
+stream them as heartbeat JSONL (and optionally one stderr line), and
+never influence results.  The profile plane: opt-in per-job resource
+capture attached to ``job.execute`` spans — including spans merged back
+from pool workers — rendered by the report CLI as a resource table.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.arch.ideal import IdealTrappedIonDevice
+from repro.arch.tilt import TiltDevice
+from repro.exec import ExecutionEngine, JobSpec
+from repro.exec.sampling import run_sampled_job
+from repro.noise.parameters import NoiseParameters
+from repro.obs import profile as obs_profile
+from repro.obs.live import (
+    LIVE_ENV_VAR,
+    LIVE_STDERR_ENV_VAR,
+    ProgressMonitor,
+    auto_attach,
+)
+from repro.obs.profile import (
+    PROFILE_ENV_VAR,
+    TOP_ALLOCATIONS,
+    JobProfiler,
+    profile_enabled,
+    refresh_mode,
+    start_job_profile,
+)
+from repro.obs.report import format_report, load_trace
+from repro.obs.trace import NULL_TRACE, TraceRecorder
+from repro.workloads.bv import bv_workload
+from repro.workloads.qft import qft_workload
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(autouse=True)
+def _obs_env_off(monkeypatch):
+    """Each test starts (and ends) with profiling and ambient live
+    monitoring resolved back to off; tests opt in explicitly."""
+    for var in (PROFILE_ENV_VAR, LIVE_ENV_VAR, LIVE_STDERR_ENV_VAR):
+        monkeypatch.delenv(var, raising=False)
+    refresh_mode()
+    yield
+    monkeypatch.delenv(PROFILE_ENV_VAR, raising=False)
+    refresh_mode()
+
+
+def _specs() -> list[JobSpec]:
+    noise = NoiseParameters.paper_defaults()
+    return [
+        JobSpec(circuit=bv_workload(8),
+                device=TiltDevice(num_qubits=8, head_size=4),
+                noise=noise, label="tilt-a"),
+        JobSpec(circuit=qft_workload(4),
+                device=IdealTrappedIonDevice(num_qubits=4),
+                backend="ideal", noise=noise, label="ideal-a"),
+    ]
+
+
+def _beats(path) -> list[dict]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+# ----------------------------------------------------------------------
+# ProgressMonitor
+# ----------------------------------------------------------------------
+class TestProgressMonitor:
+    def test_rejects_disabled_recorder(self):
+        with pytest.raises(ValueError, match="enabled TraceRecorder"):
+            ProgressMonitor(NULL_TRACE)
+
+    def test_real_run_heartbeats_planned_vs_completed(self, tmp_path):
+        trace = TraceRecorder(tmp_path / "t.jsonl")
+        heartbeat = tmp_path / "hb.jsonl"
+        monitor = ProgressMonitor(trace, heartbeat_path=heartbeat).attach()
+        ExecutionEngine(workers=1, trace=trace).run(_specs())
+        monitor.detach()
+        beats = _beats(heartbeat)
+        assert beats, "no heartbeats written"
+        final = beats[-1]
+        assert final["kind"] == "heartbeat"
+        assert final["phase"] == "batch"
+        assert final["planned"] == 2
+        assert final["completed"] == 2
+        assert final["remaining"] == 0
+        assert final["batches"] == 1
+        assert final["cache_hit_ratio"] == 0.0
+        # per-backend rows key the toolchain backend of each job.done
+        assert set(final["backends"]) == {"tilt", "ideal"}
+        assert final["batch"]["jobs"] == 2
+
+    def test_cache_hits_raise_the_rolling_ratio(self, tmp_path):
+        trace = TraceRecorder(tmp_path / "t.jsonl")
+        heartbeat = tmp_path / "hb.jsonl"
+        ProgressMonitor(trace, heartbeat_path=heartbeat).attach()
+        engine = ExecutionEngine(workers=1, trace=trace)
+        engine.run(_specs())
+        engine.run(_specs())
+        final = _beats(heartbeat)[-1]
+        assert final["batches"] == 2
+        assert final["jobs_seen"] == 4
+        assert final["cache_hits"] == 2
+        assert final["cache_hit_ratio"] == 0.5
+
+    def test_eta_appears_mid_batch(self, tmp_path):
+        """Synthetic stream: plan 4, complete 2 → ETA extrapolates."""
+        trace = TraceRecorder(tmp_path / "t.jsonl")
+        heartbeat = tmp_path / "hb.jsonl"
+        ProgressMonitor(trace, heartbeat_path=heartbeat).attach()
+        with trace.span("engine.cache_lookup") as span:
+            span.add(unique=4, cache_hits=0, deduplicated=0)
+        for index in range(2):
+            trace.event("job.done", spec_key=f"k{index}",
+                        wall_time_s=0.01, backend="tilt", label="x")
+        last = _beats(heartbeat)[-1]
+        assert last["planned"] == 4
+        assert last["completed"] == 2
+        assert last["remaining"] == 2
+        assert last["throughput_jps"] > 0
+        assert last["eta_s"] is not None and last["eta_s"] > 0
+
+    def test_straggler_alert_fires_past_quantile_threshold(self, tmp_path):
+        trace = TraceRecorder(tmp_path / "t.jsonl")
+        heartbeat = tmp_path / "hb.jsonl"
+        ProgressMonitor(trace, heartbeat_path=heartbeat,
+                        straggler_factor=2.0, min_samples=3).attach()
+        for index in range(3):
+            trace.event("job.done", spec_key=f"k{index}",
+                        wall_time_s=0.01, backend="tilt", label="fast")
+        trace.event("job.done", spec_key="slow", wall_time_s=10.0,
+                    backend="tilt", label="slow-job")
+        beats = _beats(heartbeat)
+        alerts = [b for b in beats if b["kind"] == "alert"]
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert["alert"] == "straggler"
+        assert alert["label"] == "slow-job"
+        assert alert["wall_time_s"] == 10.0
+        assert alert["threshold_s"] == pytest.approx(0.02)
+        assert beats[-1]["alerts"] == 1
+
+    def test_no_alert_before_min_samples(self, tmp_path):
+        trace = TraceRecorder(tmp_path / "t.jsonl")
+        heartbeat = tmp_path / "hb.jsonl"
+        ProgressMonitor(trace, heartbeat_path=heartbeat,
+                        min_samples=20).attach()
+        trace.event("job.done", spec_key="k", wall_time_s=10.0,
+                    backend="tilt", label="first")
+        assert all(b["kind"] != "alert" for b in _beats(heartbeat))
+
+    def test_sampling_fanout_lands_in_heartbeats(self, tmp_path):
+        trace = TraceRecorder(tmp_path / "t.jsonl")
+        heartbeat = tmp_path / "hb.jsonl"
+        ProgressMonitor(trace, heartbeat_path=heartbeat).attach()
+        engine = ExecutionEngine(workers=1, trace=trace)
+        noise = NoiseParameters.paper_defaults()
+        spec = JobSpec(
+            circuit=__import__("repro.workloads.qft",
+                               fromlist=["qft_workload"]).qft_workload(4),
+            device=IdealTrappedIonDevice(num_qubits=4), backend="ideal",
+            noise=noise, shots=32, seed=3, label="sampled",
+        )
+        run_sampled_job(spec, shards=2, engine=engine)
+        final = _beats(heartbeat)[-1]
+        assert final["fanout"]["shards"] == 2
+        assert final["fanout"]["shots"] == 32
+
+    def test_stderr_renderer_writes_single_line(self, tmp_path):
+        trace = TraceRecorder(tmp_path / "t.jsonl")
+        stream = io.StringIO()
+        ProgressMonitor(trace, stream=stream).attach()
+        ExecutionEngine(workers=1, trace=trace).run(_specs())
+        rendered = stream.getvalue()
+        assert "[obs.live]" in rendered
+        assert "2/2 jobs" in rendered
+        # the final batch heartbeat terminates the status line
+        assert rendered.endswith("\n")
+
+    def test_monitor_never_breaks_the_run(self, tmp_path):
+        """A throwing listener is swallowed by the recorder."""
+        trace = TraceRecorder(tmp_path / "t.jsonl")
+
+        def explode(record):
+            raise RuntimeError("listener bug")
+
+        trace.subscribe(explode)
+        results = ExecutionEngine(workers=1, trace=trace).run(_specs())
+        assert len(results) == 2
+
+
+class TestAutoAttach:
+    def test_off_without_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(LIVE_ENV_VAR, raising=False)
+        monkeypatch.delenv(LIVE_STDERR_ENV_VAR, raising=False)
+        trace = TraceRecorder(tmp_path / "t.jsonl")
+        assert auto_attach(trace) is None
+        engine = ExecutionEngine(workers=1, trace=trace)
+        assert engine.monitor is None
+
+    def test_disabled_recorder_never_attaches(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(LIVE_ENV_VAR, str(tmp_path / "hb.jsonl"))
+        assert auto_attach(NULL_TRACE) is None
+
+    def test_env_attaches_one_monitor_per_trace_path(
+            self, tmp_path, monkeypatch):
+        heartbeat = tmp_path / "hb.jsonl"
+        monkeypatch.setenv(LIVE_ENV_VAR, str(heartbeat))
+        monkeypatch.delenv(LIVE_STDERR_ENV_VAR, raising=False)
+        trace = TraceRecorder(tmp_path / "t.jsonl")
+        first = ExecutionEngine(workers=1, trace=trace)
+        second = ExecutionEngine(workers=1, trace=trace)
+        assert first.monitor is not None
+        assert first.monitor is second.monitor
+        assert first.monitor.heartbeat_path == str(heartbeat)
+        first.run(_specs())
+        final = _beats(heartbeat)[-1]
+        assert final["completed"] == 2
+
+
+# ----------------------------------------------------------------------
+# Per-job resource profiling
+# ----------------------------------------------------------------------
+class TestProfile:
+    @pytest.mark.parametrize("raw, expected", [
+        ("", None), ("0", None), ("off", None), ("no", None),
+        ("1", "cpu"), ("cpu", "cpu"), ("yes", "cpu"),
+        ("tracemalloc", "tracemalloc"), ("alloc", "tracemalloc"),
+    ])
+    def test_mode_parsing(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(PROFILE_ENV_VAR, raw)
+        assert refresh_mode() == expected
+        assert profile_enabled() is (expected is not None)
+
+    def test_start_job_profile_off_is_none(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV_VAR, raising=False)
+        refresh_mode()
+        assert start_job_profile() is None
+
+    def test_cpu_profile_payload_shape(self):
+        profiler = JobProfiler("cpu")
+        sum(i * i for i in range(20000))  # burn a little CPU
+        payload = profiler.finish()
+        assert payload["mode"] == "cpu"
+        assert payload["cpu_user_s"] >= 0.0
+        assert payload["cpu_system_s"] >= 0.0
+        # POSIX: rusage fields present and sane
+        assert payload["max_rss_kb"] > 0
+        assert payload["minor_faults"] >= 0
+        json.dumps(payload)  # span attrs must serialise as-is
+
+    def test_tracemalloc_profile_reports_allocation_sites(self):
+        profiler = JobProfiler("tracemalloc")
+        hoard = [bytearray(4096) for _ in range(200)]
+        payload = profiler.finish()
+        assert payload["mode"] == "tracemalloc"
+        assert payload["py_peak_kb"] > 0
+        sites = payload["allocations"]
+        assert 0 < len(sites) <= TOP_ALLOCATIONS
+        top = sites[0]
+        assert ":" in top["site"]
+        assert top["size_kb"] > 0
+        assert hoard  # keep the allocation alive across finish()
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_profiled_spans_carry_profile_attrs(
+            self, tmp_path, monkeypatch, backend):
+        """Profiles ride job.execute spans — including spans merged
+        back from pool-worker sidecar segments."""
+        monkeypatch.setenv(PROFILE_ENV_VAR, "1")
+        refresh_mode()
+        path = tmp_path / "t.jsonl"
+        engine = ExecutionEngine(workers=2, backend=backend, trace=path)
+        engine.run(_specs())
+        view = load_trace(str(path))
+        jobs = view.named("job.execute")
+        assert jobs
+        for job in jobs:
+            profile = job.attrs["profile"]
+            assert profile["mode"] == "cpu"
+            assert profile["cpu_user_s"] >= 0.0
+
+    def test_untraced_jobs_are_never_profiled(self, monkeypatch, tmp_path):
+        """No span, nowhere to put the data: the profiler is skipped."""
+        monkeypatch.setenv(PROFILE_ENV_VAR, "1")
+        refresh_mode()
+        monkeypatch.delenv("TILT_REPRO_TRACE", raising=False)
+        monkeypatch.delenv("TILT_REPRO_HISTORY", raising=False)
+        monkeypatch.chdir(tmp_path)
+        results = ExecutionEngine(workers=1).run(_specs())
+        assert len(results) == 2
+        assert list(tmp_path.iterdir()) == []
+
+    def test_report_renders_resource_table(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV_VAR, "1")
+        refresh_mode()
+        path = tmp_path / "t.jsonl"
+        ExecutionEngine(workers=1, trace=path).run(_specs())
+        rendered = format_report(load_trace(str(path)))
+        assert "Per-job resources" in rendered
+        assert "cpu user" in rendered
+        assert "tilt" in rendered and "ideal" in rendered
+        assert "heaviest" in rendered
+
+    def test_unprofiled_trace_has_no_resource_section(self):
+        view = load_trace(str(FIXTURES / "trace_fixture.jsonl"))
+        assert "Per-job resources" not in format_report(view)

@@ -34,6 +34,8 @@ def _medians(scale_tracked: float = 1.0, scale_all: float = 1.0,
         "benchmarks/bench_lint.py::test_lint_whole_repo_graph": 1.3,
         "benchmarks/bench_obs.py::test_untraced_engine_batch": 0.02,
         "benchmarks/bench_obs.py::test_traced_engine_batch": 0.022,
+        "benchmarks/bench_obs.py::test_monitored_engine_batch": 0.023,
+        "benchmarks/bench_obs.py::test_profiled_engine_batch": 0.024,
     }
     untracked = {f"benchmarks/bench_other.py::test_{i}": 0.01 * (i + 1)
                  for i in range(8)}
@@ -107,6 +109,38 @@ class TestCli:
         medians["benchmarks/bench_stochastic.py::test_serial_shots_per_second"] *= 2.0
         self._bench_json(slow, medians)
         assert gate.main([str(slow), "--baseline", str(baseline)]) == 1
+
+    def test_append_history_records_gate_run(self, gate, tmp_path):
+        """--append-history lands one compacted bench.gate record with
+        the normalised tracked ratios and the verdict."""
+        from repro.obs.history import load_ledger
+
+        bench = tmp_path / "bench.json"
+        baseline = tmp_path / "baseline.json"
+        ledger = tmp_path / "history.jsonl"
+        self._bench_json(bench, _medians())
+        assert gate.main([str(bench), "--baseline", str(baseline),
+                          "--update-baseline"]) == 0
+        assert gate.main([str(bench), "--baseline", str(baseline),
+                          "--append-history", str(ledger)]) == 0
+
+        slow = tmp_path / "slow.json"
+        medians = _medians()
+        medians["benchmarks/bench_stochastic.py::test_serial_shots_per_second"] *= 2.0
+        self._bench_json(slow, medians)
+        assert gate.main([str(slow), "--baseline", str(baseline),
+                          "--append-history", str(ledger)]) == 1
+
+        records = load_ledger(ledger)
+        assert [r["kind"] for r in records] == ["bench.gate", "bench.gate"]
+        passed, failed = records
+        assert passed["extra"]["ok"] == 1
+        assert passed["metrics"]["normalised.obs_overhead"] == pytest.approx(1.0)
+        assert failed["extra"]["ok"] == 0
+        assert failed["metrics"]["normalised.stochastic_shots"] > 1.5
+        # the per-writer segments were compacted into the single
+        # artifact file CI archives
+        assert not list(tmp_path.glob("history.jsonl.*.seg"))
 
     def test_committed_baseline_tracks_every_hot_path(self, gate):
         """The real baseline.json must cover all tracked groups, so the
