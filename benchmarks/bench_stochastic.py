@@ -5,6 +5,15 @@ tier-1 workload and pins the acceptance behaviour of the engine fan-out:
 sharded pooled runs must be bit-identical to the serial pass.  As with the
 engine benchmarks, pool *speedup* is hardware-dependent and therefore
 recorded in ``extra_info`` rather than asserted.
+
+``test_serial_shots_per_second`` (the ratcheted BENCH_* trajectory
+metric) times *sampling only*: the sampler is prebuilt through the
+simulators' ``build_sampler`` seam so the timed region is exactly
+``StochasticSampler.run`` — the loop the vectorized shot kernels
+replaced.  The whole-job path (compile + analytics + sampling) is
+recorded separately by ``test_end_to_end_job_shots_per_second``, and
+``test_batched_statevector_patterns`` covers the batched pattern
+re-simulation kernel of :mod:`repro.sim.statevector`.
 """
 
 from __future__ import annotations
@@ -12,8 +21,12 @@ from __future__ import annotations
 import time
 
 from repro.analysis import experiments
-from repro.compiler.pipeline import CompilerConfig
+from repro.circuits.gate import Gate
+from repro.compiler.pipeline import CompilerConfig, LinQCompiler
 from repro.exec import ExecutionEngine, JobSpec, run_sampled_job
+from repro.sim.statevector import batch_probabilities_with_insertions
+from repro.sim.tilt_sim import TiltSimulator
+from repro.workloads.qft import qft_workload
 from repro.workloads.suite import build_workload
 
 #: Enough shots that sampling (not compilation) dominates the wall time.
@@ -33,8 +46,35 @@ def _spec(scale, noise, shots=BENCH_SHOTS) -> JobSpec:
     )
 
 
+def _sampler(scale, noise):
+    """The prebuilt sampler of the benchmark workload (untimed setup)."""
+    name = "QFT"
+    device = experiments.device_for(scale, name)
+    compiled = LinQCompiler(device, CompilerConfig()).compile(
+        build_workload(name, scale)
+    )
+    return TiltSimulator(device, noise).build_sampler(compiled)
+
+
 def test_serial_shots_per_second(benchmark, scale, noise):
-    """Throughput of one serial shard (the BENCH_* trajectory metric)."""
+    """Sampling-only serial throughput (the BENCH_* trajectory metric)."""
+    sampler = _sampler(scale, noise)
+    result = benchmark.pedantic(
+        sampler.run, args=(BENCH_SHOTS,), kwargs={"seed": 2021},
+        iterations=1, rounds=5, warmup_rounds=1,
+    )
+    assert result.shots == BENCH_SHOTS
+    assert sampler.last_stats["mode"] == "vectorized"
+    benchmark.extra_info["shots"] = BENCH_SHOTS
+    benchmark.extra_info["shots_per_second"] = round(
+        BENCH_SHOTS / benchmark.stats.stats.mean
+    )
+    benchmark.extra_info["sampled_success"] = result.success_rate
+    benchmark.extra_info["analytic_success"] = result.expected_success_rate
+
+
+def test_end_to_end_job_shots_per_second(benchmark, scale, noise):
+    """Whole-job throughput: compile + analytics + sampling, one shard."""
     spec = _spec(scale, noise)
     result = benchmark.pedantic(
         run_sampled_job, args=(spec,),
@@ -50,6 +90,28 @@ def test_serial_shots_per_second(benchmark, scale, noise):
     benchmark.extra_info["analytic_success"] = (
         result.shot.expected_success_rate
     )
+
+
+def test_batched_statevector_patterns(benchmark):
+    """Throughput of the batched pattern re-simulation kernel.
+
+    One shared 10-qubit QFT base sequence, 64 members with distinct
+    sparse Pauli insertions — the shape of the sampler's distinct
+    triggered-error patterns.
+    """
+    circuit = qft_workload(10)
+    gates = list(circuit)
+    insertions = [
+        {member % len(gates): [Gate("x", (member % circuit.num_qubits,))]}
+        for member in range(64)
+    ]
+    result = benchmark.pedantic(
+        batch_probabilities_with_insertions,
+        args=(gates, circuit.num_qubits, insertions),
+        iterations=1, rounds=3, warmup_rounds=1,
+    )
+    assert result.shape == (64, 2 ** circuit.num_qubits)
+    benchmark.extra_info["batch"] = 64
 
 
 def test_pooled_sharding_matches_serial(scale, noise):

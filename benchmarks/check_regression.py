@@ -13,8 +13,11 @@ tracked hot paths are the ones the ROADMAP's perf work landed on:
   (``bench_engine.py::test_sweep_cache_hit_rate``, whose benchmarked
   phase is the warm, all-cache-hits sweep);
 * ``stochastic_shots``  — Monte-Carlo sampling throughput
-  (``bench_stochastic.py::test_serial_shots_per_second`` and the
-  correlated-scenario variant in ``bench_scenarios.py``);
+  (``bench_stochastic.py::test_serial_shots_per_second``, sampling-only
+  through the vectorized shot kernels, and the correlated-scenario
+  variant in ``bench_scenarios.py``);
+* ``statevector_batch`` — the batched pattern re-simulation kernel
+  (``bench_stochastic.py::test_batched_statevector_patterns``);
 * ``obs_overhead``      — the engine batch with tracing off, on, with a
   live progress monitor attached, and with per-job profiling on
   (``bench_obs.py``): instrumentation must stay near-free when off and
@@ -65,6 +68,8 @@ TRACKED_PATTERNS: tuple[tuple[str, str], ...] = (
      r"bench_stochastic\.py::test_serial_shots_per_second"),
     ("stochastic_shots",
      r"bench_scenarios\.py::test_correlated_sampling_shots_per_second"),
+    ("statevector_batch",
+     r"bench_stochastic\.py::test_batched_statevector_patterns"),
     ("lint",
      r"bench_lint\.py::test_lint_whole_repo$"),
     ("lint_graph",

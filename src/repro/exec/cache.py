@@ -59,7 +59,10 @@ def _interprocess_lock(lock_path: str):
 #: pause charging) changed results for cooling-enabled specs without
 #: changing their keys, so caches written under version 1 are discarded
 #: rather than served stale.
-_CACHE_VERSION = 2
+#: Version 3: the vectorized sampler's skip-sampling draw discipline
+#: changed baseline (independent-site) shot results without changing
+#: their keys, so version-2 sampled results are likewise discarded.
+_CACHE_VERSION = 3
 
 
 class ResultCache:

@@ -26,6 +26,15 @@ from repro.exec.engine import (
 from repro.exec.jobs import JobResult, JobSpec, spec_key
 from repro.sim.stochastic import merge_shot_results
 
+#: Floor on the shots one *default* shard carries.  The vectorized
+#: sampler amortises its lane setup and trigger kernels over the whole
+#: shot block, so cutting a small run into worker-count slivers costs
+#: more than the pool parallelises; the default fan-out only opens a
+#: shard per this many shots.  An explicit ``shards=`` always wins, and
+#: either way the merged result is bit-identical — sharding changes
+#: batching, never the per-shot random streams.
+MIN_SHOTS_PER_SHARD = 1024
+
 
 def shard_sampling_spec(spec: JobSpec, shards: int) -> list[JobSpec]:
     """Split a sampled spec into *shards* contiguous shot-range specs.
@@ -68,7 +77,9 @@ def run_sampled_job(spec: JobSpec, *, shards: int | None = None,
         *workers* override, the given *engine*, or the shared default
         engine (whose pool size follows ``TILT_REPRO_WORKERS``) — so a
         serial engine runs one shard and a pooled engine saturates its
-        pool.
+        pool; the default is additionally capped so every shard keeps at
+        least :data:`MIN_SHOTS_PER_SHARD` shots for the vectorized
+        sampler to batch over.
     exec_backend:
         Execution backend for the shard batch (name or
         :class:`~repro.exec.backends.Backend` instance; ``exec_`` prefix
@@ -95,6 +106,10 @@ def run_sampled_job(spec: JobSpec, *, shards: int | None = None,
             shards = resolve_workers(workers)
         else:
             shards = chosen.workers
+        # hand the vectorized sampler whole shot-blocks: more shards
+        # than blocks just pays pool overhead per sliver
+        blocks = -(-spec.shots // MIN_SHOTS_PER_SHARD)
+        shards = max(1, min(shards, blocks))
     shard_specs = shard_sampling_spec(spec, shards)
     # Announce the plan *before* executing it: live monitors subscribed
     # to the trace stream (repro.obs.live) see the fan-out size the

@@ -19,15 +19,19 @@ model by construction.  That agreement is what
 pins down.
 
 This module holds the channel vocabulary: :class:`ErrorSite` (one
-potential error location with its trigger probability) and the Pauli
-sampling rules.  The per-architecture site extraction lives with each
-simulator, because only the simulator knows the heating state a gate
-runs under.
+potential error location with its trigger probability), its columnar
+companion :class:`SiteTable` (the same site list as numpy arrays, the
+form the vectorized sampler consumes) and the Pauli sampling rules.  The
+per-architecture site extraction lives with each simulator, because only
+the simulator knows the heating state a gate runs under.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.circuits.gate import Gate
 from repro.exceptions import SimulationError
@@ -58,6 +62,14 @@ ERROR_KINDS = frozenset({PAULI_1Q, PAULI_2Q, MEASURE_FLIP, CROSSTALK,
 #: Kinds whose probability a triggered heating burst scales (gate-level
 #: mechanisms; classical readout is unaffected by motional energy).
 BURST_SCALED_KINDS = frozenset({PAULI_1Q, PAULI_2Q, CROSSTALK, LEAKAGE})
+
+#: Kinds whose trigger consumes one Pauli-label draw from the shot
+#: stream (leakage, bursts and readout flips carry fixed labels).
+LABEL_KINDS = frozenset({PAULI_1Q, PAULI_2Q, CROSSTALK})
+
+#: Kinds that only appear on correlated (scenario) timelines.  Their
+#: presence switches the sampler to the correlated draw discipline.
+CORRELATED_KINDS = frozenset({CROSSTALK, LEAKAGE, HEATING_BURST})
 
 #: Non-identity Pauli labels of the single-qubit depolarizing channel.
 PAULI_LABELS_1Q: tuple[str, ...] = ("X", "Y", "Z")
@@ -112,6 +124,73 @@ class ErrorSite:
             raise SimulationError(
                 f"error probability {self.probability} outside [0, 1]"
             )
+
+
+@dataclass(frozen=True)
+class SiteTable:
+    """Columnar (structure-of-arrays) view of an error-site sequence.
+
+    The vectorized sampler needs per-site *columns* — one probability,
+    window and kind-class entry per site, aligned with the site's
+    position in execution order — rather than a list of
+    :class:`ErrorSite` objects.  Building those columns once per sampler
+    keeps every hot shot-block free of per-site Python iteration.
+
+    All arrays are marked read-only: the table is shared between the
+    trigger kernels, the hazard-table cache and telemetry, and none of
+    them may mutate it.  ``kinds`` keeps the raw kind string per site
+    for telemetry grouping.
+    """
+
+    probabilities: np.ndarray
+    windows: np.ndarray
+    kinds: tuple[str, ...]
+    #: Per-site boolean columns classifying the kind (aligned with
+    #: ``probabilities``): consumes a Pauli-label draw, classical readout
+    #: flip, leakage, heating burst, any correlated-only kind.
+    label_mask: np.ndarray
+    flip_mask: np.ndarray
+    leak_mask: np.ndarray
+    burst_mask: np.ndarray
+    correlated_mask: np.ndarray
+
+    @classmethod
+    def from_sites(cls, sites: Sequence[ErrorSite]) -> "SiteTable":
+        """Build the columns of *sites* (kept in execution order)."""
+        kinds = tuple(site.kind for site in sites)
+        probabilities = np.array(
+            [site.probability for site in sites], dtype=float
+        )
+        windows = np.array([site.window for site in sites], dtype=np.int64)
+        columns = {
+            "label_mask": np.array(
+                [kind in LABEL_KINDS for kind in kinds], dtype=bool
+            ),
+            "flip_mask": np.array(
+                [kind == MEASURE_FLIP for kind in kinds], dtype=bool
+            ),
+            "leak_mask": np.array(
+                [kind == LEAKAGE for kind in kinds], dtype=bool
+            ),
+            "burst_mask": np.array(
+                [kind == HEATING_BURST for kind in kinds], dtype=bool
+            ),
+            "correlated_mask": np.array(
+                [kind in CORRELATED_KINDS for kind in kinds], dtype=bool
+            ),
+        }
+        for array in (probabilities, windows, *columns.values()):
+            array.setflags(write=False)
+        return cls(probabilities=probabilities, windows=windows,
+                   kinds=kinds, **columns)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def correlated(self) -> bool:
+        """True when any site needs the correlated draw discipline."""
+        return bool(self.correlated_mask.any())
 
 
 def error_site_for_gate(index: int, gate: Gate, fidelity: float,

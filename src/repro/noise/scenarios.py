@@ -47,6 +47,7 @@ from repro.noise.channels import (
     LEAKAGE,
     MEASURE_FLIP,
     ErrorSite,
+    SiteTable,
     error_site_for_gate,
 )
 
@@ -384,6 +385,18 @@ def build_scenario_sites(points: Sequence[TimelinePoint],
                     probability=rate, window=point.window,
                 ))
     return sites
+
+
+def scenario_site_table(points: Sequence[TimelinePoint],
+                        scenario: NoiseScenario) -> SiteTable:
+    """Columnar :class:`~repro.noise.channels.SiteTable` of a timeline.
+
+    The array form of :func:`build_scenario_sites` — per-site
+    probability/window/kind-mask columns in the same execution order —
+    for analytics or sampling code that wants vectorized access to a
+    scenario's site probabilities without re-walking the object list.
+    """
+    return SiteTable.from_sites(build_scenario_sites(points, scenario))
 
 
 # ----------------------------------------------------------------------

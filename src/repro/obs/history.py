@@ -62,8 +62,11 @@ HISTORY_VERSION = 1
 #: Suffix of per-writer segments next to the main ledger file.
 SEGMENT_SUFFIX = ".seg"
 
-#: Metric-path substrings the trend table shows by default.
-DEFAULT_TREND_PATTERNS = ("cache.", "latency.")
+#: Metric-path substrings the trend table shows by default.  The
+#: ``normalised.`` paths are the machine-normalised hot-path ratios the
+#: CI benchmark gate appends (one ``bench.gate`` record per run), so the
+#: cross-commit trend gate covers them out of the box.
+DEFAULT_TREND_PATTERNS = ("cache.", "latency.", "normalised.")
 
 #: Minimum same-kind records before ``--check`` gates a metric.
 MIN_CHECK_HISTORY = 3
@@ -402,7 +405,8 @@ def format_record_diff(a: dict[str, Any], b: dict[str, Any],
 
 def _direction(path: str) -> int:
     """+1 = lower is better, -1 = higher is better, 0 = not gated."""
-    if path.startswith(("latency.", "extra.normalised.")) \
+    if path.startswith(("latency.", "extra.normalised.",
+                        "metrics.normalised.")) \
             or path.endswith(("_s", ".mean", ".max", ".p50", ".p90", ".p99")):
         return 1
     if path.endswith(("hit_ratio", "hit_rate")) or "throughput" in path:

@@ -1,0 +1,304 @@
+"""Batched per-shot random streams (vectorized SeedSequence + PCG64).
+
+The determinism contract of :mod:`repro.sim.stochastic` roots every shot
+in its own ``np.random.default_rng((seed, shot_index))`` generator, so a
+shard ``[offset, offset + k)`` draws exactly what the same shots would
+draw in a serial pass.  Constructing those generators one by one costs
+~13 µs each — more than an entire vectorized shot — so this module
+re-implements the two algorithms behind ``default_rng`` as NumPy array
+kernels over a whole *batch* of shot indices at once:
+
+* the :class:`numpy.random.SeedSequence` entropy-mixing hash (pool size
+  4, the murmur-style ``hashmix``/``mix`` rounds) — the per-round hash
+  constants are data-independent, so each round is one vectorized
+  multiply/xor over the lane axis;
+* the PCG64 (XSL-RR 128/64) state initialisation and step, with the
+  128-bit LCG emulated as ``(hi, lo)`` uint64 pairs (the 64×64→128
+  partial products are built from 32-bit limbs).
+
+:class:`ShotLanes` holds one lane per shot.  ``draw(lanes)`` advances
+exactly the selected lanes by one double draw — bit-identical to what
+``shot_rng(seed, shot).random()`` would return for those shots — and
+:meth:`ShotLanes.generator` reconstructs a real
+:class:`numpy.random.Generator` mid-stream for the (rare) shots that
+need scalar tail draws such as Pauli label choices.
+
+Bit-compatibility with NumPy is pinned by ``tests/test_rng_kernels.py``
+for every entry point; :func:`lanes_supported` gates the fallback to the
+per-shot reference path for entropy shapes the kernels do not model
+(seeds or shot indices at or beyond 2**64 / 2**32).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ----------------------------------------------------------------------
+# SeedSequence constants (numpy/random/bit_generator.pyx)
+# ----------------------------------------------------------------------
+_XSHIFT = np.uint32(16)
+_INIT_A = 0x43B0D7E5
+_MULT_A = 0x931E8875
+_INIT_B = 0x8B51F9DD
+_MULT_B = 0x58F38DED
+_MIX_MULT_L = np.uint32(0xCA01F9DD)
+_MIX_MULT_R = np.uint32(0x4973F715)
+_POOL_SIZE = 4
+_M32 = (1 << 32) - 1
+
+# ----------------------------------------------------------------------
+# PCG64 constants (pcg64.h): the 128-bit LCG multiplier, split in limbs
+# ----------------------------------------------------------------------
+_MULT_HI = np.uint64(2549297995355413924)
+_MULT_LO = np.uint64(4865540595714422341)
+_ML_LOW32 = np.uint64(4865540595714422341 & _M32)
+_ML_HIGH32 = np.uint64(4865540595714422341 >> 32)
+_U32 = np.uint64(32)
+_U64_LOW_MASK = np.uint64(_M32)
+_R58 = np.uint64(58)
+_R11 = np.uint64(11)
+_ROT_MASK = np.uint64(63)
+_U64_BITS = np.uint64(64)
+#: 2**-53 — the double conversion used by ``Generator.random``.
+_DOUBLE_SCALE = 1.0 / 9007199254740992.0
+
+#: Entropy bounds the batched kernels model: a (seed, shot) pair whose
+#: uint32 coercion is at most three words (two for the seed, one for
+#: the shot index).  Anything larger falls back to per-shot generators.
+MAX_LANE_SEED = 2**64 - 1
+MAX_LANE_SHOT = 2**32 - 1
+
+
+def lanes_supported(seed: int, max_shot_index: int) -> bool:
+    """True when :class:`ShotLanes` models this entropy shape exactly."""
+    return 0 <= seed <= MAX_LANE_SEED and 0 <= max_shot_index <= MAX_LANE_SHOT
+
+
+def _hashmix_const_sequence(count: int, init: int, mult: int) -> list[int]:
+    """The data-independent evolution of the SeedSequence hash constant."""
+    constants = []
+    const = init
+    for _ in range(count):
+        constants.append(const)
+        const = (const * mult) & _M32
+    return constants
+
+
+class ShotLanes:
+    """A batch of per-shot PCG64 streams advanced with array kernels.
+
+    Lane ``i`` reproduces ``np.random.default_rng((seed,
+    shot_indices[i]))`` draw for draw.  State is stored as four uint64
+    arrays (state hi/lo, increment hi/lo) indexed by lane.
+    """
+
+    def __init__(self, seed: int, shot_indices: np.ndarray) -> None:
+        shot_indices = np.ascontiguousarray(shot_indices, dtype=np.uint64)
+        if shot_indices.ndim != 1:
+            raise ValueError("shot_indices must be one-dimensional")
+        if not lanes_supported(
+            seed, int(shot_indices.max()) if shot_indices.size else 0
+        ):
+            raise ValueError("entropy outside the batched-kernel range")
+        self.seed = int(seed)
+        self.shot_indices = shot_indices
+        self.num_lanes = shot_indices.shape[0]
+        self._borrowed: tuple[np.random.PCG64, np.random.Generator] | None \
+            = None
+        pool = self._seed_pool(seed, shot_indices)
+        words = self._generate_state64(pool, 4)
+        istate_hi, istate_lo, iseq_hi, iseq_lo = words
+        # pcg_setseq_128_srandom_r: inc = (initseq << 1) | 1;
+        # state = inc + initstate; one step.
+        self._inc_hi = (iseq_hi << np.uint64(1)) | (iseq_lo >> np.uint64(63))
+        self._inc_lo = (iseq_lo << np.uint64(1)) | np.uint64(1)
+        lo = self._inc_lo + istate_lo
+        hi = self._inc_hi + istate_hi + (lo < self._inc_lo).astype(np.uint64)
+        self._state_hi, self._state_lo = self._step(
+            hi, lo, self._inc_hi, self._inc_lo
+        )
+
+    # ------------------------------------------------------------------
+    # SeedSequence((seed, shot)) — vectorized over the shot lane axis
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _entropy_words(seed: int,
+                       shot_indices: np.ndarray) -> list[np.ndarray]:
+        """The uint32 entropy columns of ``SeedSequence((seed, shot))``.
+
+        NumPy coerces each entropy element to its little-endian uint32
+        words; seeds below 2**32 contribute one constant column, larger
+        seeds two, and the shot index is always a single column here
+        (``lanes_supported`` rejects wider shot indices).
+        """
+        lanes = shot_indices.shape[0]
+        columns = [np.full(lanes, seed & _M32, np.uint32)]
+        if seed > _M32:
+            columns.append(np.full(lanes, (seed >> 32) & _M32, np.uint32))
+        columns.append(shot_indices.astype(np.uint32))
+        return columns
+
+    @classmethod
+    def _seed_pool(cls, seed: int,
+                   shot_indices: np.ndarray) -> list[np.ndarray]:
+        """``SeedSequence.mix_entropy`` over the lane axis (pool of 4)."""
+        columns = cls._entropy_words(seed, shot_indices)
+        lanes = shot_indices.shape[0]
+        zeros = np.zeros(lanes, np.uint32)
+        # hash constants are data-independent: precompute the sequence
+        # for the pool fill plus the full cross-mix rounds
+        n_hashes = _POOL_SIZE + _POOL_SIZE * (_POOL_SIZE - 1)
+        pool: list[np.ndarray] = []
+        const_iter = iter(_hashmix_const_sequence(n_hashes, _INIT_A, _MULT_A))
+
+        def hash_one(value: np.ndarray) -> np.ndarray:
+            const = next(const_iter)
+            # hashmix: value ^= hash_const; hash_const *= MULT_A;
+            # value *= hash_const(new); value ^= value >> XSHIFT
+            new_const = (const * _MULT_A) & _M32
+            out = (value ^ np.uint32(const)) * np.uint32(new_const)
+            out = out.astype(np.uint32, copy=False)
+            return out ^ (out >> _XSHIFT)
+
+        def mix(dst: np.ndarray, src: np.ndarray) -> np.ndarray:
+            out = (_MIX_MULT_L * dst - _MIX_MULT_R * src)
+            out = out.astype(np.uint32, copy=False)
+            return out ^ (out >> _XSHIFT)
+
+        for slot in range(_POOL_SIZE):
+            source = columns[slot] if slot < len(columns) else zeros
+            pool.append(hash_one(source))
+        for i_src in range(_POOL_SIZE):
+            for i_dst in range(_POOL_SIZE):
+                if i_src != i_dst:
+                    pool[i_dst] = mix(pool[i_dst], hash_one(pool[i_src]))
+        # entropy longer than the pool folds in afterwards — impossible
+        # here (at most 3 columns), kept as a guard for future widening
+        for extra in columns[_POOL_SIZE:]:  # pragma: no cover
+            for i_dst in range(_POOL_SIZE):
+                pool[i_dst] = mix(pool[i_dst], hash_one(extra))
+        return pool
+
+    @staticmethod
+    def _generate_state64(pool: list[np.ndarray],
+                          n_words64: int) -> list[np.ndarray]:
+        """``SeedSequence.generate_state(n, uint64)`` over the lane axis."""
+        const_iter = iter(
+            _hashmix_const_sequence(2 * n_words64, _INIT_B, _MULT_B)
+        )
+        words32: list[np.ndarray] = []
+        for position in range(2 * n_words64):
+            const = next(const_iter)
+            new_const = (const * _MULT_B) & _M32
+            value = pool[position % _POOL_SIZE]
+            value = (value ^ np.uint32(const)) * np.uint32(new_const)
+            value = value.astype(np.uint32, copy=False)
+            value ^= value >> _XSHIFT
+            words32.append(value)
+        # uint32 pairs pack little-endian into uint64 output words
+        return [
+            words32[2 * k].astype(np.uint64)
+            | (words32[2 * k + 1].astype(np.uint64) << _U32)
+            for k in range(n_words64)
+        ]
+
+    # ------------------------------------------------------------------
+    # PCG64 step + XSL-RR output
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _step(hi: np.ndarray, lo: np.ndarray, inc_hi: np.ndarray,
+              inc_lo: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One 128-bit LCG step: ``state = state * MULT + inc``."""
+        a0 = lo & _U64_LOW_MASK
+        a1 = lo >> _U32
+        p00 = a0 * _ML_LOW32
+        p01 = a0 * _ML_HIGH32
+        p10 = a1 * _ML_LOW32
+        p11 = a1 * _ML_HIGH32
+        mid = (p00 >> _U32) + (p01 & _U64_LOW_MASK) + (p10 & _U64_LOW_MASK)
+        new_lo = (p00 & _U64_LOW_MASK) | (mid << _U32)
+        carry = (mid >> _U32) + (p01 >> _U32) + (p10 >> _U32)
+        new_hi = p11 + carry + hi * _MULT_LO + lo * _MULT_HI
+        out_lo = new_lo + inc_lo
+        new_hi = new_hi + inc_hi + (out_lo < new_lo).astype(np.uint64)
+        return new_hi, out_lo
+
+    @staticmethod
+    def _output(hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+        """XSL-RR: rotate ``hi ^ lo`` right by the top 6 state bits."""
+        word = hi ^ lo
+        rot = hi >> _R58
+        # (64 - rot) & 63 keeps the complementary shift in range when
+        # rot == 0 (x << 64 is undefined; x << 0 | x >> 0 == x is right)
+        return (word >> rot) | (word << ((_U64_BITS - rot) & _ROT_MASK))
+
+    def draw(self, lanes: np.ndarray | None = None) -> np.ndarray:
+        """Advance the selected *lanes* one step; their next double draw.
+
+        Bit-identical to ``shot_rng(seed, shot_indices[lane]).random()``
+        at the equivalent stream position.  *lanes* is an integer index
+        array (default: every lane).
+        """
+        if lanes is None:
+            hi, lo = self._step(self._state_hi, self._state_lo,
+                                self._inc_hi, self._inc_lo)
+            self._state_hi, self._state_lo = hi, lo
+        else:
+            hi, lo = self._step(self._state_hi[lanes], self._state_lo[lanes],
+                                self._inc_hi[lanes], self._inc_lo[lanes])
+            self._state_hi[lanes] = hi
+            self._state_lo[lanes] = lo
+        return (self._output(hi, lo) >> _R11) * _DOUBLE_SCALE
+
+    # ------------------------------------------------------------------
+    # Mid-stream hand-off to a real numpy Generator
+    # ------------------------------------------------------------------
+    def state128(self, lane: int) -> tuple[int, int]:
+        """The (state, inc) 128-bit integers of one lane, mid-stream."""
+        state = (int(self._state_hi[lane]) << 64) | int(self._state_lo[lane])
+        inc = (int(self._inc_hi[lane]) << 64) | int(self._inc_lo[lane])
+        return state, inc
+
+    def generator(self, lane: int) -> np.random.Generator:
+        """A :class:`numpy.random.Generator` continuing *lane*'s stream.
+
+        The returned generator's next draws equal what the original
+        per-shot ``default_rng((seed, shot))`` would produce after the
+        draws this lane has already consumed — used for the scalar tail
+        draws (Pauli labels, outcome uniforms) of the few shots that
+        need them.
+        """
+        state, inc = self.state128(lane)
+        bit_generator = np.random.PCG64()
+        bit_generator.state = {
+            "bit_generator": "PCG64",
+            "state": {"state": state, "inc": inc},
+            "has_uint32": 0,
+            "uinteger": 0,
+        }
+        return np.random.Generator(bit_generator)
+
+    def borrow_generator(self, lane: int) -> np.random.Generator:
+        """Like :meth:`generator`, but reusing one shared instance.
+
+        Constructing a fresh ``PCG64`` costs more than an entire
+        vectorized shot, so tight replay loops borrow a single cached
+        generator whose state is re-pointed at *lane*.  The returned
+        object is only valid until the next ``borrow_generator`` call;
+        callers that need independent generators side by side must use
+        :meth:`generator`.
+        """
+        borrowed = self._borrowed
+        if borrowed is None:
+            bit_generator = np.random.PCG64()
+            borrowed = (bit_generator, np.random.Generator(bit_generator))
+            self._borrowed = borrowed
+        bit_generator, generator = borrowed
+        state, inc = self.state128(lane)
+        bit_generator.state = {
+            "bit_generator": "PCG64",
+            "state": {"state": state, "inc": inc},
+            "has_uint32": 0,
+            "uinteger": 0,
+        }
+        return generator

@@ -19,12 +19,34 @@ offset + shots)`` of a 10k-shot run draws exactly the numbers the same
 shots would draw in one serial pass, and
 :func:`merge_shot_results` reassembles the full run.
 
+Vectorized sampling
+-------------------
+The default path batches every shot's private stream into
+:class:`~repro.sim.rng_kernels.ShotLanes` and consumes it with array
+kernels.  Independent (baseline) sites use inverse-CDF *skip sampling*:
+one uniform decides the next triggered site directly through a
+``searchsorted`` over the cumulative ``-log1p(-p)`` survival table, so a
+shot consumes ``1 + number of triggers`` draws instead of one per site
+(sites with ``probability >= 1`` trigger deterministically and consume
+no draw; sites with ``probability == 0`` are skipped).  Correlated
+(scenario) sites keep their original one-uniform-per-site stream and are
+consumed column-wise over the shot axis, so scenario results are
+bit-identical to earlier releases.  ``run(...,
+exhaustive_shots=True)`` executes the same draw disciplines one shot at
+a time with ordinary per-shot generators — the differential reference
+(naming follows the scheduler's ``exhaustive_scan``) that
+``tests/test_stochastic.py`` pins bit-identical to the vectorized path
+across backends and shard splits.
+
 Counts
 ------
 With ``sample_counts=True`` the sampler also produces a measurement
 histogram: error-free shots draw from the ideal distribution (computed
-once on the dense statevector), and each erroneous shot re-simulates the
-circuit with its sampled Paulis injected.  This is only available up to
+once per program and memoised process-wide), and erroneous shots
+re-simulate the circuit with their sampled Paulis injected — once per
+*distinct* triggered-error pattern, not once per shot (the vectorized
+path groups shots by pattern and caches each pattern's distribution;
+``last_stats`` reports the grouping).  This is only available up to
 :data:`~repro.sim.statevector.MAX_STATEVECTOR_QUBITS` wide circuits;
 success-rate estimation alone has no width limit.
 """
@@ -34,6 +56,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Sequence
 
 import numpy as np
@@ -43,11 +66,11 @@ from repro.circuits.gate import Gate
 from repro.exceptions import SimulationError
 from repro.noise.channels import (
     BURST_SCALED_KINDS,
-    CROSSTALK,
     HEATING_BURST,
     LEAKAGE,
     MEASURE_FLIP,
     ErrorSite,
+    SiteTable,
     pauli_gates,
     sample_pauli_label,
 )
@@ -55,6 +78,7 @@ from repro.noise.scenarios import (
     expected_success_rate as correlated_expected_success_rate,
 )
 from repro.sim.result import SimulationResult
+from repro.sim.rng_kernels import ShotLanes, lanes_supported
 from repro.sim.statevector import MAX_STATEVECTOR_QUBITS, StatevectorSimulator
 
 #: 97.5 % normal quantile: the z of a two-sided 95 % confidence interval.
@@ -102,6 +126,26 @@ def shot_rng(seed: int, shot_index: int) -> np.random.Generator:
     if seed < 0 or shot_index < 0:
         raise SimulationError("seed and shot index must be non-negative")
     return np.random.default_rng((seed, shot_index))
+
+
+@lru_cache(maxsize=8)
+def _ideal_cumulative(num_qubits: int, gates: tuple[Gate, ...],
+                      max_qubits: int) -> np.ndarray:
+    """Cumulative ideal outcome distribution of one executed program.
+
+    Memoised process-wide (keyed on the gate sequence itself) so shard
+    fan-outs and resampling sweeps run the ideal statevector once per
+    program instead of once per shard — ``tests/test_stochastic.py``
+    counts the invocations.  The returned array is marked read-only
+    because every caller shares it.
+    """
+    circuit = Circuit(num_qubits)
+    for gate in gates:
+        circuit.append(gate)
+    simulator = StatevectorSimulator(max_qubits)
+    cumulative = np.cumsum(simulator.probabilities(circuit))
+    cumulative.setflags(write=False)
+    return cumulative
 
 
 @dataclass(frozen=True)
@@ -408,21 +452,26 @@ class StochasticSampler:
     #: computed (the correlated burst DP is too heavy to run twice).
     expected_rate: float | None = None
     max_statevector_qubits: int = MAX_STATEVECTOR_QUBITS
+    _table: SiteTable = field(init=False, repr=False, compare=False)
     _probabilities: np.ndarray = field(init=False, repr=False)
     _correlated: bool = field(init=False, repr=False)
     _expected_success_rate: float = field(init=False, repr=False)
+    #: Diagnostics of the most recent :meth:`run`: sampling ``mode``,
+    #: statevector ``resimulations``, counts-mode ``distinct_patterns``
+    #: and ``replayed_shots`` (shots that needed a scalar generator).
+    last_stats: dict[str, Any] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _scan_cache: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None \
+        = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        self._probabilities = np.array(
-            [site.probability for site in self.sites], dtype=float
-        )
+        self._table = SiteTable.from_sites(self.sites)
+        self._probabilities = self._table.probabilities
         # Scenario sites (crosstalk/leakage/bursts) switch the per-shot
         # loop to the correlated path; plain Eq. 4 sites keep the PR-2
         # fast path and its exact random stream.
-        self._correlated = any(
-            site.kind in (CROSSTALK, LEAKAGE, HEATING_BURST)
-            for site in self.sites
-        )
+        self._correlated = self._table.correlated
         # Computed once: the correlated form runs the per-window burst
         # DP, which is too heavy to redo on every property access.
         self._expected_success_rate = self._compute_expected_success_rate()
@@ -460,28 +509,488 @@ class StochasticSampler:
     # ------------------------------------------------------------------
     def run(self, shots: int, *, seed: int = 0, shot_offset: int = 0,
             sample_counts: bool = False,
-            max_records: int = DEFAULT_MAX_RECORDS) -> ShotResult:
+            max_records: int = DEFAULT_MAX_RECORDS,
+            exhaustive_shots: bool = False) -> ShotResult:
         """Sample shots ``[shot_offset, shot_offset + shots)``.
 
         Each shot consumes a fixed, documented draw sequence from its
-        private generator — site uniforms, then one Pauli choice per
-        triggered Pauli site, then (counts mode) one outcome uniform — so
-        results do not depend on how shots are batched.
+        private ``(seed, shot index)`` generator — trigger draws (the
+        skip-sampling scan for independent sites, one uniform per site
+        for correlated ones), then one Pauli choice per triggered
+        Pauli-like site, then (counts mode) one outcome uniform plus the
+        leaked-qubit coin flips — so results do not depend on how shots
+        are batched, sharded or backed.
+
+        ``exhaustive_shots=True`` forces the scalar per-shot reference
+        implementation of exactly the same draw discipline (one real
+        generator per shot, naming follows the scheduler's
+        ``exhaustive_scan``); it exists for differential testing and is
+        also the automatic fallback for entropy shapes the batched
+        kernels do not model (see
+        :func:`~repro.sim.rng_kernels.lanes_supported`).
         """
         if shots <= 0:
             raise SimulationError("shots must be positive")
         if max_records < 0:
             raise SimulationError("max_records cannot be negative")
-        ideal_cumulative: np.ndarray | None = None
+        if seed < 0 or shot_offset < 0:
+            raise SimulationError("seed and shot index must be non-negative")
+        if exhaustive_shots or not lanes_supported(
+            seed, shot_offset + shots - 1
+        ):
+            return self._run_exhaustive(shots, seed, shot_offset,
+                                        sample_counts, max_records)
+        return self._run_vectorized(shots, seed, shot_offset,
+                                    sample_counts, max_records)
+
+    def _make_result(self, shots: int, seed: int, shot_offset: int,
+                     successes: int, errors_per_shot: Sequence[int],
+                     records: Sequence[ShotRecord], max_records: int,
+                     counts: dict[str, int] | None,
+                     mechanism_counts: dict[str, int],
+                     mechanism_shots: dict[str, int]) -> ShotResult:
+        return ShotResult(
+            architecture=self.architecture,
+            circuit_name=self.circuit_name,
+            shots=shots,
+            seed=seed,
+            shot_offset=shot_offset,
+            successes=successes,
+            errors_per_shot=tuple(errors_per_shot),
+            records=tuple(records),
+            max_records=max_records,
+            counts=counts,
+            num_error_sites=len(self.sites),
+            expected_success_rate=self.expected_success_rate,
+            analytic=self.analytic,
+            mechanism_counts=mechanism_counts,
+            mechanism_shots=mechanism_shots,
+        )
+
+    # ------------------------------------------------------------------
+    # Vectorized sampling (the default path)
+    # ------------------------------------------------------------------
+    def _scan_table(self) -> tuple[np.ndarray, np.ndarray,
+                                   np.ndarray, np.ndarray]:
+        """Cumulative-hazard tables of the independent sites (cached).
+
+        ``scan_positions`` are the sites with ``0 < p < 1`` in execution
+        order; ``hazards[k]`` is the cumulative ``-log1p(-p)`` hazard
+        through scan site ``k`` (strictly increasing), and
+        ``boundaries`` is the same table shifted right by one so entry
+        ``r`` is the hazard already consumed when the scan resumes at
+        scan index ``r``.  ``sure_positions`` (``p >= 1``) trigger on
+        every shot without consuming a draw; ``p <= 0`` sites never
+        trigger and are excluded entirely.
+        """
+        cached = self._scan_cache
+        if cached is None:
+            probabilities = self._probabilities
+            scan_mask = (probabilities > 0.0) & (probabilities < 1.0)
+            scan_positions = np.flatnonzero(scan_mask)
+            sure_positions = np.flatnonzero(probabilities >= 1.0)
+            hazards = np.cumsum(-np.log1p(-probabilities[scan_positions]))
+            boundaries = np.concatenate(([0.0], hazards))
+            cached = (scan_positions, sure_positions, hazards, boundaries)
+            self._scan_cache = cached
+        return cached
+
+    def _independent_triggers(
+        self, lanes: ShotLanes, shots: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sparse ``(shot, site position)`` triggers, lexsorted by shot.
+
+        The skip-sampling scan over all lanes at once: each round draws
+        one uniform per still-active lane, converts it to an exponential
+        hazard increment and jumps straight to the lane's next triggered
+        site via ``searchsorted`` on the cumulative hazard table.  Lanes
+        whose jump passes the last scan site retire, so a shot consumes
+        ``1 + number of triggers`` draws however many sites exist.
+        """
+        scan_positions, sure_positions, hazards, boundaries = (
+            self._scan_table()
+        )
+        num_scan = hazards.shape[0]
+        shot_parts: list[np.ndarray] = []
+        position_parts: list[np.ndarray] = []
+        if num_scan:
+            active = np.arange(shots, dtype=np.int64)
+            resume = np.zeros(shots, dtype=np.int64)
+            while active.size:
+                draws = lanes.draw(active)
+                targets = boundaries[resume[active]] - np.log1p(-draws)
+                jumps = np.searchsorted(hazards, targets, side="right")
+                hit = jumps < num_scan
+                hit_lanes = active[hit]
+                hit_jumps = jumps[hit]
+                shot_parts.append(hit_lanes)
+                position_parts.append(scan_positions[hit_jumps])
+                resume[hit_lanes] = hit_jumps + 1
+                active = hit_lanes[hit_jumps + 1 < num_scan]
+        if sure_positions.size:
+            shot_parts.append(
+                np.repeat(np.arange(shots, dtype=np.int64),
+                          sure_positions.size)
+            )
+            position_parts.append(np.tile(sure_positions, shots))
+        if not shot_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        trigger_shots = np.concatenate(shot_parts)
+        trigger_positions = np.concatenate(position_parts)
+        order = np.lexsort((trigger_positions, trigger_shots))
+        return trigger_shots[order], trigger_positions[order]
+
+    def _scan_shot_reference(self, rng: np.random.Generator) -> list[int]:
+        """Scalar skip-sampling scan of one shot (site positions, sorted).
+
+        Exactly the draw discipline of :meth:`_independent_triggers`
+        executed with one real per-shot generator — the
+        ``exhaustive_shots`` reference the vectorized path is pinned
+        bit-identical to.
+        """
+        scan_positions, sure_positions, hazards, boundaries = (
+            self._scan_table()
+        )
+        triggered = [int(position) for position in sure_positions]
+        num_scan = hazards.shape[0]
+        resume = 0
+        while resume < num_scan:
+            draw = rng.random()
+            target = boundaries[resume] - np.log1p(-draw)
+            jump = int(np.searchsorted(hazards, target, side="right"))
+            if jump >= num_scan:
+                break
+            triggered.append(int(scan_positions[jump]))
+            resume = jump + 1
+        triggered.sort()
+        return triggered
+
+    def _burst_scaled(self, probability: float,
+                      active_counts: np.ndarray) -> np.ndarray:
+        """Per-lane burst-scaled trigger probability.
+
+        Computed once per distinct burst count with the *scalar*
+        arithmetic of the reference path (``min(1.0, p * multiplier **
+        active)``, overflow saturating to 1.0), so the vectorized
+        comparison is bit-equal to the per-shot one.
+        """
+        scaled = np.full(active_counts.shape[0], probability)
+        for active in np.unique(active_counts).tolist():
+            if not active:
+                continue
+            try:
+                value = min(
+                    1.0, probability * self.burst_multiplier ** active
+                )
+            except OverflowError:
+                value = 1.0
+            scaled[active_counts == active] = value
+        return scaled
+
+    def _correlated_triggers(
+        self, lanes: ShotLanes, shots: int
+    ) -> tuple[np.ndarray, np.ndarray, dict[str, int], dict[str, int]]:
+        """Column-wise correlated sampling over all lanes at once.
+
+        Consumes exactly the v1 stream — one uniform per site per shot,
+        in site order — and reproduces the burst-scaling, leakage
+        suppression and telemetry semantics of
+        :meth:`_sample_correlated_shot` for every lane in parallel.
+        Returns lexsorted sparse triggers plus the mechanism telemetry.
+        """
+        bursts_active: dict[int, np.ndarray] = {}
+        leaked: dict[int, np.ndarray] = {}
+        mechanism_counts: dict[str, int] = {}
+        kind_masks: dict[str, np.ndarray] = {}
+        shot_parts: list[np.ndarray] = []
+        position_parts: list[np.ndarray] = []
+
+        def tally(kind: str, triggered: np.ndarray) -> int:
+            total = int(np.count_nonzero(triggered))
+            if total:
+                mechanism_counts[kind] = (
+                    mechanism_counts.get(kind, 0) + total
+                )
+                mask = kind_masks.get(kind)
+                if mask is None:
+                    kind_masks[kind] = triggered.copy()
+                else:
+                    mask |= triggered
+            return total
+
+        for position, site in enumerate(self.sites):
+            draws = lanes.draw()
+            if site.kind == HEATING_BURST:
+                triggered = draws < site.probability
+                if tally(HEATING_BURST, triggered):
+                    window = bursts_active.get(site.window)
+                    if window is None:
+                        window = np.zeros(shots, dtype=np.int64)
+                        bursts_active[site.window] = window
+                    window += triggered
+                continue
+            window = (bursts_active.get(site.window)
+                      if site.kind in BURST_SCALED_KINDS else None)
+            if window is None:
+                triggered = draws < site.probability
+            else:
+                triggered = draws < self._burst_scaled(site.probability,
+                                                       window)
+            suppressed: np.ndarray | None = None
+            for qubit in site.qubits:
+                qubit_leaked = leaked.get(qubit)
+                if qubit_leaked is not None:
+                    suppressed = (qubit_leaked if suppressed is None
+                                  else suppressed | qubit_leaked)
+            if suppressed is not None:
+                triggered = triggered & ~suppressed
+            if site.kind == LEAKAGE:
+                for qubit in site.qubits:
+                    qubit_leaked = leaked.get(qubit)
+                    if qubit_leaked is None:
+                        leaked[qubit] = triggered.copy()
+                    else:
+                        qubit_leaked |= triggered
+            if tally(site.kind, triggered):
+                lanes_hit = np.flatnonzero(triggered)
+                shot_parts.append(lanes_hit)
+                position_parts.append(
+                    np.full(lanes_hit.size, position, dtype=np.int64)
+                )
+        mechanism_shots = {
+            kind: int(np.count_nonzero(mask))
+            for kind, mask in kind_masks.items()
+        }
+        if not shot_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, mechanism_counts, mechanism_shots
+        trigger_shots = np.concatenate(shot_parts)
+        trigger_positions = np.concatenate(position_parts)
+        order = np.lexsort((trigger_positions, trigger_shots))
+        return (trigger_shots[order], trigger_positions[order],
+                mechanism_counts, mechanism_shots)
+
+    def _trigger_telemetry(
+        self, trigger_shots: np.ndarray, trigger_positions: np.ndarray,
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        """Mechanism telemetry aggregated from sparse triggers."""
+        mechanism_counts: dict[str, int] = {}
+        mechanism_shots: dict[str, int] = {}
+        if trigger_shots.size:
+            site_kinds = self._table.kinds
+            for kind in dict.fromkeys(site_kinds):
+                selector = np.array(
+                    [site_kind == kind for site_kind in site_kinds],
+                    dtype=bool,
+                )[trigger_positions]
+                total = int(np.count_nonzero(selector))
+                if total:
+                    mechanism_counts[kind] = total
+                    mechanism_shots[kind] = int(
+                        np.unique(trigger_shots[selector]).size
+                    )
+        return mechanism_counts, mechanism_shots
+
+    def _run_vectorized(self, shots: int, seed: int, shot_offset: int,
+                        sample_counts: bool,
+                        max_records: int) -> ShotResult:
+        """Array-kernel sampling of one whole shot block.
+
+        Trigger draws happen on :class:`~repro.sim.rng_kernels.ShotLanes`
+        (one PCG64 lane per shot); only shots whose triggers consume
+        scalar tail draws — Pauli labels, leak coin flips — are handed a
+        real mid-stream :class:`numpy.random.Generator`, and counts-mode
+        re-simulation runs once per *distinct* triggered-error pattern.
+        """
         base_circuit: Circuit | None = None
+        ideal_cumulative: np.ndarray | None = None
         if sample_counts:
             base_circuit = self._counts_circuit()
-            simulator = StatevectorSimulator(self.max_statevector_qubits)
-            ideal_cumulative = np.cumsum(
-                simulator.probabilities(base_circuit)
+            assert self.gates is not None
+            ideal_cumulative = _ideal_cumulative(
+                base_circuit.num_qubits, tuple(self.gates),
+                self.max_statevector_qubits,
             )
+        lanes = ShotLanes(
+            seed,
+            np.arange(shot_offset, shot_offset + shots, dtype=np.uint64),
+        )
+        if self._correlated:
+            trigger_shots, trigger_positions, mechanism_counts, \
+                mechanism_shots = self._correlated_triggers(lanes, shots)
+        else:
+            trigger_shots, trigger_positions = (
+                self._independent_triggers(lanes, shots)
+            )
+            mechanism_counts, mechanism_shots = self._trigger_telemetry(
+                trigger_shots, trigger_positions
+            )
+        counts_per_shot = np.bincount(trigger_shots, minlength=shots)
+        successes = int(np.count_nonzero(counts_per_shot == 0))
+        starts = np.zeros(shots + 1, dtype=np.int64)
+        np.cumsum(counts_per_shot, out=starts[1:])
+        erroneous = np.flatnonzero(counts_per_shot)
+        recorded = erroneous[:max_records]
+        recorded_set = set(recorded.tolist())
 
+        label_site = self._table.label_mask
+        leak_site = self._table.leak_mask
+        label_shots = np.unique(trigger_shots[label_site[trigger_positions]])
+        if sample_counts:
+            replay = np.unique(trigger_shots[
+                label_site[trigger_positions]
+                | leak_site[trigger_positions]
+            ])
+        else:
+            # label draws of unrecorded shots are unobservable (per-shot
+            # streams are independent), so only recorded shots replay
+            replay = np.intersect1d(recorded, label_shots,
+                                    assume_unique=True)
+        replay_set = set(replay.tolist())
+
+        counts: dict[str, int] | None = {} if sample_counts else None
+        records_map: dict[int, ShotRecord] = {}
+        pattern_cache: dict[Any, np.ndarray] = {}
+        resimulations = 0
+        # recorded shots without label draws read their records straight
+        # off the sparse triggers (FLIP/LEAK labels are fixed strings)
+        for shot in recorded.tolist():
+            if shot in replay_set:
+                continue
+            errors = tuple(
+                (self.sites[position].index,
+                 "FLIP" if self.sites[position].kind == MEASURE_FLIP
+                 else "LEAK")
+                for position in
+                trigger_positions[starts[shot]:starts[shot + 1]].tolist()
+            )
+            records_map[shot] = ShotRecord(shot=shot_offset + shot,
+                                           errors=errors)
+        n_out = base_circuit.num_qubits if base_circuit is not None else 0
+        for shot in replay.tolist():
+            generator = lanes.borrow_generator(shot)
+            errors_list: list[tuple[int, str]] = []
+            flip_qubits: list[int] = []
+            leaked_at: dict[int, int] = {}
+            injections: dict[int, list[Gate]] = {}
+            label_key: list[tuple[int, str]] = []
+            positions = (
+                trigger_positions[starts[shot]:starts[shot + 1]].tolist()
+            )
+            for position in positions:
+                site = self.sites[position]
+                if site.kind == LEAKAGE:
+                    for qubit in site.qubits:
+                        leaked_at.setdefault(qubit, site.index)
+                    errors_list.append((site.index, "LEAK"))
+                elif site.kind == MEASURE_FLIP:
+                    errors_list.append((site.index, "FLIP"))
+                    flip_qubits.extend(site.qubits)
+                else:
+                    label = sample_pauli_label(site, generator)
+                    errors_list.append((site.index, label))
+                    label_key.append((position, label))
+                    if sample_counts:
+                        extra = pauli_gates(site, label)
+                        if extra:
+                            injections.setdefault(
+                                site.index, []
+                            ).extend(extra)
+            if shot in recorded_set:
+                records_map[shot] = ShotRecord(
+                    shot=shot_offset + shot, errors=tuple(errors_list)
+                )
+            if counts is not None:
+                assert base_circuit is not None
+                assert ideal_cumulative is not None
+                if not injections and not leaked_at:
+                    cumulative = ideal_cumulative
+                else:
+                    key = (tuple(label_key),
+                           tuple(sorted(leaked_at.items())))
+                    cumulative = pattern_cache.get(key)
+                    if cumulative is None:
+                        perturbed = self._build_perturbed(
+                            injections, leaked_at, base_circuit
+                        )
+                        simulator = StatevectorSimulator(
+                            self.max_statevector_qubits
+                        )
+                        cumulative = np.cumsum(
+                            simulator.probabilities(perturbed)
+                        )
+                        pattern_cache[key] = cumulative
+                        resimulations += 1
+                index = self._draw_outcome_index(
+                    generator, cumulative, n_out, flip_qubits
+                )
+                for qubit in sorted(leaked_at):
+                    bit = 1 if generator.random() < 0.5 else 0
+                    mask = 1 << (n_out - 1 - qubit)
+                    index = (index | mask) if bit else (index & ~mask)
+                outcome = format(index, f"0{n_out}b")
+                counts[outcome] = counts.get(outcome, 0) + 1
+        if counts is not None:
+            assert ideal_cumulative is not None
+            batched = np.setdiff1d(np.arange(shots, dtype=np.int64),
+                                   replay, assume_unique=True)
+            if batched.size:
+                flip_mask_site = np.zeros(len(self.sites), dtype=np.int64)
+                for position in np.flatnonzero(self._table.flip_mask):
+                    mask = 0
+                    for qubit in self.sites[position].qubits:
+                        mask ^= 1 << (n_out - 1 - qubit)
+                    flip_mask_site[position] = mask
+                shot_flips = np.zeros(shots, dtype=np.int64)
+                flips = flip_mask_site[trigger_positions] != 0
+                np.bitwise_xor.at(
+                    shot_flips, trigger_shots[flips],
+                    flip_mask_site[trigger_positions[flips]],
+                )
+                draws = lanes.draw(batched)
+                indices = np.searchsorted(ideal_cumulative, draws,
+                                          side="right")
+                np.minimum(indices, len(ideal_cumulative) - 1,
+                           out=indices)
+                indices ^= shot_flips[batched]
+                unique_indices, tallies = np.unique(indices,
+                                                    return_counts=True)
+                for index, tally_count in zip(unique_indices.tolist(),
+                                              tallies.tolist()):
+                    outcome = format(index, f"0{n_out}b")
+                    counts[outcome] = counts.get(outcome, 0) + tally_count
+        self.last_stats = {
+            "mode": "vectorized",
+            "resimulations": resimulations,
+            "distinct_patterns": len(pattern_cache),
+            "replayed_shots": int(replay.size),
+        }
+        return self._make_result(
+            shots, seed, shot_offset, successes,
+            counts_per_shot.tolist(),
+            tuple(records_map[shot] for shot in recorded.tolist()),
+            max_records, counts, mechanism_counts, mechanism_shots,
+        )
+
+    # ------------------------------------------------------------------
+    # Exhaustive per-shot reference (differential mode and fallback)
+    # ------------------------------------------------------------------
+    def _run_exhaustive(self, shots: int, seed: int, shot_offset: int,
+                        sample_counts: bool,
+                        max_records: int) -> ShotResult:
+        """One real generator per shot — the reference implementation."""
+        base_circuit: Circuit | None = None
+        ideal_cumulative: np.ndarray | None = None
+        if sample_counts:
+            base_circuit = self._counts_circuit()
+            assert self.gates is not None
+            ideal_cumulative = _ideal_cumulative(
+                base_circuit.num_qubits, tuple(self.gates),
+                self.max_statevector_qubits,
+            )
         successes = 0
+        resimulations = 0
         errors_per_shot: list[int] = []
         records: list[ShotRecord] = []
         counts: dict[str, int] | None = {} if sample_counts else None
@@ -499,15 +1008,11 @@ class StochasticSampler:
                     )
                 )
             else:
-                if len(self._probabilities):
-                    uniforms = rng.random(len(self._probabilities))
-                    triggered = np.flatnonzero(uniforms < self._probabilities)
-                else:
-                    triggered = np.empty(0, dtype=int)
+                triggered = self._scan_shot_reference(rng)
                 errors = []
                 flip_qubits = []
                 for position in triggered:
-                    site = self.sites[int(position)]
+                    site = self.sites[position]
                     label = sample_pauli_label(site, rng)
                     errors.append((site.index, label))
                     shot_kinds.add(site.kind)
@@ -523,34 +1028,27 @@ class StochasticSampler:
                 records.append(ShotRecord(shot=shot, errors=tuple(errors)))
             if counts is not None:
                 if self._correlated:
-                    outcome = self._correlated_outcome(
+                    outcome, resimulated = self._correlated_outcome(
                         rng, injections, flip_qubits, leaked_at,
                         base_circuit, ideal_cumulative,
                     )
                 else:
-                    outcome = self._sample_outcome(
+                    outcome, resimulated = self._sample_outcome(
                         rng, triggered, errors, flip_qubits,
                         base_circuit, ideal_cumulative,
                     )
+                resimulations += resimulated
                 counts[outcome] = counts.get(outcome, 0) + 1
             for kind in shot_kinds:
                 mechanism_shots[kind] = mechanism_shots.get(kind, 0) + 1
-        return ShotResult(
-            architecture=self.architecture,
-            circuit_name=self.circuit_name,
-            shots=shots,
-            seed=seed,
-            shot_offset=shot_offset,
-            successes=successes,
-            errors_per_shot=tuple(errors_per_shot),
-            records=tuple(records),
-            max_records=max_records,
-            counts=counts,
-            num_error_sites=len(self.sites),
-            expected_success_rate=self.expected_success_rate,
-            analytic=self.analytic,
-            mechanism_counts=mechanism_counts,
-            mechanism_shots=mechanism_shots,
+        self.last_stats = {
+            "mode": "exhaustive",
+            "resimulations": resimulations,
+        }
+        return self._make_result(
+            shots, seed, shot_offset, successes, errors_per_shot,
+            records, max_records, counts, mechanism_counts,
+            mechanism_shots,
         )
 
     # ------------------------------------------------------------------
@@ -637,44 +1135,62 @@ class StochasticSampler:
                         injections.setdefault(site.index, []).extend(extra)
         return errors, flip_qubits, leaked_at, injections
 
-    def _correlated_outcome(self, rng: np.random.Generator,
-                            injections: dict[int, list[Gate]],
-                            flip_qubits: list[int],
-                            leaked_at: dict[int, int],
-                            base_circuit: Circuit | None,
-                            ideal_cumulative: np.ndarray | None) -> str:
+    def _build_perturbed(self, injections: dict[int, list[Gate]],
+                         leaked_at: dict[int, int],
+                         base_circuit: Circuit) -> Circuit:
+        """The erroneous circuit of one triggered-error pattern.
+
+        Sampled Pauli gates are injected right after their base gate;
+        gates strictly after a leak that touch the leaked qubit are
+        dropped (the shared builder keeps the vectorized pattern cache
+        and the per-shot reference byte-identical by construction).
+        """
+        assert self.gates is not None
+        perturbed = Circuit(base_circuit.num_qubits, name=base_circuit.name)
+        for index, gate in enumerate(self.gates):
+            dropped = any(
+                leaked_at.get(qubit, index + 1) < index
+                for qubit in gate.qubits
+            )
+            if not dropped:
+                perturbed.append(gate)
+            for extra in injections.get(index, ()):
+                perturbed.append(extra)
+        return perturbed
+
+    def _correlated_outcome(
+        self, rng: np.random.Generator,
+        injections: dict[int, list[Gate]],
+        flip_qubits: list[int],
+        leaked_at: dict[int, int],
+        base_circuit: Circuit | None,
+        ideal_cumulative: np.ndarray | None,
+    ) -> tuple[str, int]:
         """Sample one measurement outcome under the correlated model.
 
         Gates strictly after a leak that touch the leaked qubit are
         dropped from the re-simulated circuit, and the leaked qubit's
         measured bit is replaced by a fair coin flip (one uniform per
-        leaked qubit, in qubit order) after the outcome draw.
+        leaked qubit, in qubit order) after the outcome draw.  Returns
+        the outcome and how many statevector re-simulations it cost.
         """
         assert base_circuit is not None and ideal_cumulative is not None
+        resimulated = 0
         if not injections and not leaked_at:
             cumulative = ideal_cumulative
         else:
-            assert self.gates is not None
-            perturbed = Circuit(base_circuit.num_qubits,
-                                name=base_circuit.name)
-            for index, gate in enumerate(self.gates):
-                dropped = any(
-                    leaked_at.get(qubit, index + 1) < index
-                    for qubit in gate.qubits
-                )
-                if not dropped:
-                    perturbed.append(gate)
-                for extra in injections.get(index, ()):
-                    perturbed.append(extra)
+            perturbed = self._build_perturbed(injections, leaked_at,
+                                              base_circuit)
             simulator = StatevectorSimulator(self.max_statevector_qubits)
             cumulative = np.cumsum(simulator.probabilities(perturbed))
+            resimulated = 1
         n = base_circuit.num_qubits
         index = self._draw_outcome_index(rng, cumulative, n, flip_qubits)
         for qubit in sorted(leaked_at):
             bit = 1 if rng.random() < 0.5 else 0
             mask = 1 << (n - 1 - qubit)
             index = (index | mask) if bit else (index & ~mask)
-        return format(index, f"0{n}b")
+        return format(index, f"0{n}b"), resimulated
 
     @staticmethod
     def _draw_outcome_index(rng: np.random.Generator,
@@ -715,16 +1231,18 @@ class StochasticSampler:
         return circuit
 
     def _sample_outcome(self, rng: np.random.Generator,
-                        triggered: np.ndarray,
+                        triggered: Sequence[int],
                         errors: list[tuple[int, str]],
                         flip_qubits: list[int],
                         base_circuit: Circuit | None,
-                        ideal_cumulative: np.ndarray | None) -> str:
+                        ideal_cumulative: np.ndarray | None,
+                        ) -> tuple[str, int]:
         assert base_circuit is not None and ideal_cumulative is not None
         needs_resim = any(
             self.sites[int(position)].kind != MEASURE_FLIP
             for position in triggered
         )
+        resimulated = 0
         if not needs_resim:
             cumulative = ideal_cumulative
         else:
@@ -732,11 +1250,12 @@ class StochasticSampler:
                                                 base_circuit)
             simulator = StatevectorSimulator(self.max_statevector_qubits)
             cumulative = np.cumsum(simulator.probabilities(perturbed))
+            resimulated = 1
         n = base_circuit.num_qubits
         index = self._draw_outcome_index(rng, cumulative, n, flip_qubits)
-        return format(index, f"0{n}b")
+        return format(index, f"0{n}b"), resimulated
 
-    def _perturbed_circuit(self, triggered: np.ndarray,
+    def _perturbed_circuit(self, triggered: Sequence[int],
                            errors: list[tuple[int, str]],
                            base_circuit: Circuit) -> Circuit:
         injected: dict[int, list[Gate]] = {}
@@ -745,13 +1264,7 @@ class StochasticSampler:
             extra = pauli_gates(site, label)
             if extra:
                 injected.setdefault(gate_index, []).extend(extra)
-        perturbed = Circuit(base_circuit.num_qubits, name=base_circuit.name)
-        assert self.gates is not None
-        for index, gate in enumerate(self.gates):
-            perturbed.append(gate)
-            for extra in injected.get(index, ()):
-                perturbed.append(extra)
-        return perturbed
+        return self._build_perturbed(injected, {}, base_circuit)
 
 
 # ----------------------------------------------------------------------

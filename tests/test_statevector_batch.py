@@ -1,0 +1,186 @@
+"""Tests for the batched statevector kernels.
+
+:meth:`StatevectorSimulator.run_batch` and
+:func:`batch_probabilities_with_insertions` must be *equivalent* to
+stacking the serial kernel member by member — the stochastic sampler's
+pattern-grouped counts re-simulation and the engine benchmarks both lean
+on that equivalence.  Circuits here are randomized (seeded) so the
+lockstep grouping sees shared gates, divergent gates and ragged lengths.
+Equivalence is numerical (pinned to 1e-12): the batched contraction may
+round differently from the serial one on dense states, so the sampler's
+*bit*-identity guarantees never route through this kernel — they are
+pinned in ``tests/test_stochastic.py`` against the serial reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import Gate
+from repro.exceptions import SimulationError
+from repro.sim.statevector import (
+    BATCH_BLOCK,
+    StatevectorSimulator,
+    batch_probabilities_with_insertions,
+)
+from repro.workloads.qft import qft_workload
+
+
+def _close(actual, expected):
+    return np.allclose(actual, expected, rtol=0.0, atol=1e-12)
+
+
+def _random_circuit(rng: np.random.Generator, num_qubits: int,
+                    depth: int) -> Circuit:
+    """A seeded random circuit over the serial kernel's gate vocabulary."""
+    circuit = Circuit(num_qubits, name="random")
+    single = ("h", "x", "y", "z", "s", "t", "sx")
+    for _ in range(depth):
+        choice = rng.random()
+        if choice < 0.4:
+            name = single[int(rng.integers(len(single)))]
+            circuit.append(Gate(name, (int(rng.integers(num_qubits)),)))
+        elif choice < 0.6:
+            theta = float(rng.uniform(0, 2 * np.pi))
+            circuit.append(Gate("rz", (int(rng.integers(num_qubits)),),
+                                (theta,)))
+        elif choice < 0.9:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.append(Gate("cx", (int(a), int(b))))
+        else:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            theta = float(rng.uniform(0, np.pi))
+            circuit.append(Gate("xx", (int(a), int(b)), (theta,)))
+    return circuit
+
+
+class TestRunBatch:
+    def test_randomized_batch_matches_per_circuit_runs(self):
+        rng = np.random.default_rng(20210817)
+        simulator = StatevectorSimulator()
+        circuits = [_random_circuit(rng, 5, int(rng.integers(10, 40)))
+                    for _ in range(12)]
+        batch = simulator.run_batch(circuits)
+        assert batch.shape == (12, 2**5)
+        for member, circuit in enumerate(circuits):
+            assert _close(batch[member], simulator.run(circuit))
+
+    def test_shared_prefix_circuits_group_batched(self):
+        # the common case of the sampler: one base sequence, sparse
+        # per-member divergence
+        rng = np.random.default_rng(4)
+        base = _random_circuit(rng, 4, 25)
+        circuits = []
+        for member in range(6):
+            variant = Circuit(4, name=f"variant{member}")
+            for index, gate in enumerate(base):
+                variant.append(gate)
+                if index == member * 3:
+                    variant.append(Gate("x", (member % 4,)))
+            circuits.append(variant)
+        simulator = StatevectorSimulator()
+        batch = simulator.run_batch(circuits)
+        for member, circuit in enumerate(circuits):
+            assert _close(batch[member], simulator.run(circuit))
+
+    def test_ragged_lengths_stop_early(self):
+        circuit = qft_workload(4)
+        gates = [gate for gate in circuit
+                 if gate.name not in ("barrier", "measure")]
+        prefixes = []
+        for length in (3, len(gates) // 2, len(gates)):
+            prefix = Circuit(4, name=f"prefix{length}")
+            for gate in gates[:length]:
+                prefix.append(gate)
+            prefixes.append(prefix)
+        simulator = StatevectorSimulator()
+        batch = simulator.run_batch(prefixes)
+        for member, prefix in enumerate(prefixes):
+            assert _close(batch[member], simulator.run(prefix))
+
+    def test_initial_states_are_respected(self):
+        simulator = StatevectorSimulator()
+        circuit = _random_circuit(np.random.default_rng(11), 3, 12)
+        rng = np.random.default_rng(12)
+        states = []
+        for _ in range(4):
+            state = rng.normal(size=8) + 1j * rng.normal(size=8)
+            states.append(state / np.linalg.norm(state))
+        batch = simulator.run_batch([circuit] * 4, initial_states=states)
+        for member, state in enumerate(states):
+            assert _close(batch[member],
+                                  simulator.run(circuit, state))
+
+    def test_probabilities_batch(self):
+        simulator = StatevectorSimulator()
+        circuits = [qft_workload(3), qft_workload(3)]
+        probabilities = simulator.probabilities_batch(circuits)
+        assert probabilities.shape == (2, 8)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_validation(self):
+        simulator = StatevectorSimulator(max_qubits=4)
+        with pytest.raises(SimulationError):
+            simulator.run_batch([])
+        with pytest.raises(SimulationError):
+            simulator.run_batch([Circuit(2), Circuit(3)])
+        with pytest.raises(SimulationError):
+            simulator.run_batch([Circuit(5)])
+        with pytest.raises(SimulationError):
+            simulator.run_batch([Circuit(2)], initial_states=[])
+        with pytest.raises(SimulationError):
+            simulator.run_batch([Circuit(2)],
+                                initial_states=[np.ones(3, complex)])
+
+
+class TestBatchProbabilitiesWithInsertions:
+    def _serial_reference(self, base_gates, num_qubits, insertions,
+                          drops=None):
+        simulator = StatevectorSimulator()
+        rows = []
+        for member, extra in enumerate(insertions):
+            circuit = Circuit(num_qubits)
+            for index, gate in enumerate(base_gates):
+                dropped = drops is not None and index in drops[member]
+                if gate.name not in ("barrier", "measure") and not dropped:
+                    circuit.append(gate)
+                for injected in extra.get(index, ()):
+                    circuit.append(injected)
+            rows.append(simulator.probabilities(circuit))
+        return np.stack(rows)
+
+    def test_insertions_match_serial_per_member_simulation(self):
+        circuit = qft_workload(5)
+        gates = list(circuit)
+        insertions = [
+            {member % len(gates): [Gate("x", (member % 5,))],
+             (3 * member) % len(gates): [Gate("z", ((member + 1) % 5,))]}
+            for member in range(BATCH_BLOCK + 5)  # exercises blocking
+        ]
+        batched = batch_probabilities_with_insertions(gates, 5, insertions)
+        expected = self._serial_reference(gates, 5, insertions)
+        assert batched.shape == expected.shape
+        assert _close(batched, expected)
+
+    def test_drops_match_serial_per_member_simulation(self):
+        circuit = qft_workload(4)
+        gates = list(circuit)
+        insertions = [{}, {2: [Gate("y", (1,))]}, {}, {0: [Gate("x", (0,))]}]
+        drops = [frozenset(), frozenset({1, 4}), frozenset({0}),
+                 frozenset({len(gates) - 1})]
+        batched = batch_probabilities_with_insertions(gates, 4, insertions,
+                                                      drops=drops)
+        expected = self._serial_reference(gates, 4, insertions, drops)
+        assert _close(batched, expected)
+
+    def test_empty_insertions_reproduce_the_base_distribution(self):
+        circuit = qft_workload(4)
+        gates = list(circuit)
+        batched = batch_probabilities_with_insertions(gates, 4, [{}, {}])
+        base = StatevectorSimulator().probabilities(circuit)
+        assert _close(batched[0], base)
+        assert _close(batched[1], base)
+
+    def test_width_cap_is_enforced(self):
+        with pytest.raises(SimulationError):
+            batch_probabilities_with_insertions([], 5, [{}], max_qubits=4)

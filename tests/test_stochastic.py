@@ -396,6 +396,153 @@ class TestCounts:
 
 
 # ----------------------------------------------------------------------
+# Vectorized sampling vs the exhaustive per-shot reference
+# ----------------------------------------------------------------------
+class TestVectorizedReference:
+    """The vectorized kernels are pinned bit-identical to
+    ``exhaustive_shots=True`` — the same draw discipline executed with one
+    real generator per shot — across backends, modes and shard splits."""
+
+    def test_tilt_success_sampling_bit_identity(self, qft16_compiled, noise):
+        device, compiled = qft16_compiled
+        simulator = TiltSimulator(device, noise)
+        vectorized = simulator.run_stochastic(compiled, shots=400, seed=7)
+        reference = simulator.run_stochastic(compiled, shots=400, seed=7,
+                                             exhaustive_shots=True)
+        assert vectorized == reference
+
+    def test_exhaustive_shards_merge_into_the_vectorized_serial_run(
+            self, qft16_compiled, noise):
+        # offsets must not shift either discipline's stream: reference
+        # shards reassemble the vectorized whole bit for bit
+        device, compiled = qft16_compiled
+        simulator = TiltSimulator(device, noise)
+        vectorized = simulator.run_stochastic(compiled, shots=300, seed=11)
+        shards = [
+            simulator.run_stochastic(compiled, shots=width, seed=11,
+                                     shot_offset=offset,
+                                     exhaustive_shots=True)
+            for offset, width in ((0, 120), (120, 80), (200, 100))
+        ]
+        assert merge_shot_results(shards) == vectorized
+
+    def test_tilt_counts_bit_identity(self, noise):
+        device = TiltDevice(num_qubits=8, head_size=4)
+        compiled = LinQCompiler(device, CompilerConfig()).compile(
+            qft_workload(8)
+        )
+        simulator = TiltSimulator(device, noise)
+        vectorized = simulator.run_stochastic(compiled, shots=150, seed=3,
+                                              sample_counts=True)
+        reference = simulator.run_stochastic(compiled, shots=150, seed=3,
+                                             sample_counts=True,
+                                             exhaustive_shots=True)
+        assert vectorized == reference
+        assert vectorized.counts is not None
+
+    def test_scenario_counts_bit_identity(self, noise):
+        # worst_case routes through the correlated column-wise kernels
+        # (bursts, leakage suppression, crosstalk) and the leak coin flips
+        device = TiltDevice(num_qubits=8, head_size=4)
+        compiled = LinQCompiler(device, CompilerConfig()).compile(
+            qft_workload(8)
+        )
+        simulator = TiltSimulator(device, noise)
+        vectorized = simulator.run_stochastic(compiled, shots=100, seed=5,
+                                              sample_counts=True,
+                                              scenario="worst_case")
+        reference = simulator.run_stochastic(compiled, shots=100, seed=5,
+                                             sample_counts=True,
+                                             scenario="worst_case",
+                                             exhaustive_shots=True)
+        assert vectorized == reference
+
+    def test_ideal_backend_bit_identity(self, noise):
+        device = IdealTrappedIonDevice(num_qubits=6)
+        simulator = IdealSimulator(device, noise)
+        circuit = bv_workload(6)
+        vectorized = simulator.run_stochastic(circuit, shots=200, seed=9,
+                                              sample_counts=True)
+        reference = simulator.run_stochastic(circuit, shots=200, seed=9,
+                                             sample_counts=True,
+                                             exhaustive_shots=True)
+        assert vectorized == reference
+
+    def test_qccd_backend_bit_identity(self, noise):
+        device = QccdDevice(num_qubits=8, trap_capacity=4)
+        program = QccdCompiler(device).compile(qft_workload(8))
+        simulator = QccdSimulator(device, noise)
+        vectorized = simulator.run_stochastic(program, shots=150, seed=13,
+                                              circuit_name="qft")
+        reference = simulator.run_stochastic(program, shots=150, seed=13,
+                                             circuit_name="qft",
+                                             exhaustive_shots=True)
+        assert vectorized == reference
+
+
+# ----------------------------------------------------------------------
+# Pattern grouping and the memoised ideal distribution
+# ----------------------------------------------------------------------
+class TestCountsResimulationEconomy:
+    def test_resimulation_runs_once_per_distinct_pattern(self):
+        from repro.circuits.gate import Gate
+        from repro.sim.stochastic import StochasticSampler
+
+        # one fallible Pauli site -> at most 3 distinct error patterns
+        # (X, Y or Z after gate 0), however many shots trigger it
+        gates = [Gate("h", (0,)), Gate("cx", (0, 1))]
+        sampler = StochasticSampler(
+            architecture="x", circuit_name="bell",
+            sites=[ErrorSite(index=0, kind="pauli1", qubits=(0,),
+                             probability=0.5)],
+            gates=gates, num_qubits=2,
+        )
+        result = sampler.run(200, seed=3, sample_counts=True)
+        stats = sampler.last_stats
+        assert stats["mode"] == "vectorized"
+        assert stats["resimulations"] == stats["distinct_patterns"]
+        assert stats["distinct_patterns"] <= 3
+        assert stats["replayed_shots"] > stats["distinct_patterns"]
+        # the reference path re-simulates every erroneous shot anew and
+        # still produces the identical result
+        reference = sampler.run(200, seed=3, sample_counts=True,
+                                exhaustive_shots=True)
+        assert reference == result
+        assert (sampler.last_stats["resimulations"]
+                > stats["resimulations"])
+
+    def test_ideal_distribution_computed_once_across_shards(
+            self, monkeypatch, noiseless):
+        from repro.sim.statevector import StatevectorSimulator
+        from repro.sim.stochastic import _ideal_cumulative
+
+        # regression: the ideal outcome distribution used to be
+        # recomputed by every shard of a counts run; it is memoised on
+        # the executed gate sequence now, so a 3-shard fan-out performs
+        # exactly one statevector pass
+        _ideal_cumulative.cache_clear()
+        calls: list[str] = []
+        original = StatevectorSimulator.probabilities
+
+        def counting(self, circuit):
+            calls.append(circuit.name or "")
+            return original(self, circuit)
+
+        monkeypatch.setattr(StatevectorSimulator, "probabilities", counting)
+        device = IdealTrappedIonDevice(num_qubits=4)
+        simulator = IdealSimulator(device, noiseless)
+        circuit = qft_workload(4)
+        shards = [
+            simulator.run_stochastic(circuit, shots=50, seed=2,
+                                     shot_offset=offset, sample_counts=True)
+            for offset in (0, 50, 100)
+        ]
+        merged = merge_shot_results(shards)
+        assert merged.shots == 150
+        assert len(calls) == 1
+
+
+# ----------------------------------------------------------------------
 # Engine integration
 # ----------------------------------------------------------------------
 def _sampled_spec(shots=300, seed=3, **overrides):
